@@ -1,0 +1,321 @@
+// Package guardrail's root benchmarks regenerate every table and figure of
+// the paper's evaluation (one testing.B bench per artifact; see DESIGN.md
+// §4 for the index) plus the ablation benches for the design choices
+// DESIGN.md calls out: the statement-level cache, predicate pushdown, and
+// MEC enumeration vs the unconstrained orientation space.
+//
+// Benches run at a small scale so `go test -bench=.` stays laptop-sized;
+// `cmd/experiments -scale 1.0` reproduces the full-size runs recorded in
+// EXPERIMENTS.md.
+package guardrail_test
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/experiments"
+	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/ml"
+	"github.com/guardrail-db/guardrail/internal/pc"
+	"github.com/guardrail-db/guardrail/internal/repair"
+	"github.com/guardrail-db/guardrail/internal/sketch"
+	"github.com/guardrail-db/guardrail/internal/smt"
+	"github.com/guardrail-db/guardrail/internal/sqlexec"
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// benchCfg keeps per-iteration work small while touching every code path.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.02, Seed: 1, Datasets: []int{2, 6}}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table8(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchCfg(), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMTBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SMTBaseline(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- pipeline-stage benches ---
+
+func BenchmarkAuxSampling(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := auxdist.Sample(rel, auxdist.Options{Shifts: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCLearn(b *testing.B) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 10, Seed: 3}).Sample(3000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Shifts: 8, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.Learn(aux, pc.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeEndToEnd(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(rel, core.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuardCheckRow(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(rel, core.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	guard := core.NewGuard(res.Program, core.Ignore)
+	row := rel.Row(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := guard.CheckRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md §6) ---
+
+// BenchmarkStatementCache measures Alg. 1 filling across a MEC with and
+// without the statement-level cache of §7.
+func BenchmarkStatementCache(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	learned, err := pc.Learn(aux, pc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dags, err := graph.EnumerateMEC(learned.CPDAG, 64)
+	if err != nil && err != graph.ErrEnumLimit {
+		b.Fatal(err)
+	}
+	sketches := make([]sketch.Prog, len(dags))
+	for i, d := range dags {
+		sketches[i] = sketch.FromDAG(d)
+	}
+	b.Run("with-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := &synth.StatementCache{}
+			for _, sk := range sketches {
+				synth.FillProgram(rel, sk, synth.FillOptions{}, cache)
+			}
+		}
+	})
+	b.Run("without-cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, sk := range sketches {
+				synth.FillProgram(rel, sk, synth.FillOptions{}, nil)
+			}
+		}
+	})
+}
+
+// BenchmarkPushdown measures the SQL executor with and without predicate
+// pushdown below the ML prediction step.
+func BenchmarkPushdown(b *testing.B) {
+	rel, err := bn.Hospital().Sample(6000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel.SetName("hospital")
+	model, err := ml.Train(rel, rel.AttrIndex("dysp"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT COUNT(*) FROM hospital WHERE floor = 'floor_v0' AND PREDICT(dysp) = 'dysp_v0'"
+	models := map[string]ml.Model{"dysp": model}
+	b.Run("with-pushdown", func(b *testing.B) {
+		env := &sqlexec.Env{Models: models}
+		for i := 0; i < b.N; i++ {
+			if _, err := sqlexec.Exec(q, rel, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-pushdown", func(b *testing.B) {
+		env := &sqlexec.Env{Models: models, DisablePushdown: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := sqlexec.Exec(q, rel, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMECvsOrientations contrasts the two search spaces of Table 7 on
+// one skeleton: enumerating the MEC vs counting all acyclic orientations.
+func BenchmarkMECvsOrientations(b *testing.B) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 8, Seed: 5}).Sample(3000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	learned, err := pc.Learn(aux, pc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.EnumerateMEC(learned.CPDAG, 0); err != nil && err != graph.ErrEnumLimit {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("orientations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.CountAcyclicOrientations(learned.CPDAG, 1<<20)
+		}
+	})
+}
+
+// BenchmarkRepair contrasts per-statement rectify with holistic
+// minimal-edit repair on corrupted rows.
+func BenchmarkRepair(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(rel, core.Options{Epsilon: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty := rel.Row(0, nil)
+	dirty[1] = rel.Intern(1, "gibbon")
+	b.Run("rectify", func(b *testing.B) {
+		row := make([]int32, len(dirty))
+		for i := 0; i < b.N; i++ {
+			copy(row, dirty)
+			res.Program.Rectify(row)
+		}
+	})
+	b.Run("holistic", func(b *testing.B) {
+		r := repair.New(res.Program, repair.Options{})
+		row := make([]int32, len(dirty))
+		for i := 0; i < b.N; i++ {
+			copy(row, dirty)
+			r.Repair(row)
+		}
+	})
+}
+
+// BenchmarkSMTEncode sizes the monolithic encoding (§8.3) repeatedly.
+func BenchmarkSMTEncode(b *testing.B) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 15, Seed: 6}).Sample(1000, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smt.Encode(rel, 3)
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §4 for the experiment index):
+//
+//	experiments -scale 0.1 table3
+//	experiments -datasets 1,2,6 fig6
+//	experiments all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "row-count scale in (0,1]; 1.0 reproduces Table 2 sizes")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	eps := flag.Float64("eps", 0, "Guardrail epsilon (0 = default)")
+	datasets := flag.String("datasets", "", "comma-separated Table 2 ids (default: all 12)")
+	fig7Dataset := flag.Int("fig7-dataset", 6, "dataset id for the fig7 epsilon sweep")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table3|table4|table5|table6|table7|table8|fig6|fig7|smt|gnt|all>")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps}
+	if *datasets != "" {
+		for _, part := range strings.Split(*datasets, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad dataset id %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Datasets = append(cfg.Datasets, id)
+		}
+	}
+
+	runners := map[string]func() (renderer, error){
+		"table1": func() (renderer, error) { return experiments.Table1(cfg) },
+		"table3": func() (renderer, error) { return experiments.Table3(cfg) },
+		"table4": func() (renderer, error) { return experiments.Table4(cfg) },
+		"table5": func() (renderer, error) { return experiments.Table5(cfg) },
+		"table6": func() (renderer, error) { return experiments.Table6(cfg) },
+		"table7": func() (renderer, error) { return experiments.Table7(cfg) },
+		"table8": func() (renderer, error) { return experiments.Table8(cfg) },
+		"fig6":   func() (renderer, error) { return experiments.Fig6(cfg) },
+		"fig7":   func() (renderer, error) { return experiments.Fig7(cfg, *fig7Dataset) },
+		"smt":    func() (renderer, error) { return experiments.SMTBaseline(cfg) },
+		"gnt":    func() (renderer, error) { return experiments.AblationGNT(cfg) },
+	}
+	order := []string{"table1", "table3", "table4", "table5", "table6", "table7", "table8", "fig6", "fig7", "smt", "gnt"}
+
+	which := flag.Arg(0)
+	var toRun []string
+	if which == "all" {
+		toRun = order
+	} else if _, ok := runners[which]; ok {
+		toRun = []string{which}
+	} else {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+	for _, name := range toRun {
+		fmt.Printf("=== %s (scale %g, seed %d) ===\n", name, *scale, *seed)
+		res, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+}

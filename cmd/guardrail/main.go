@@ -1,0 +1,246 @@
+// Command guardrail synthesizes integrity constraints from CSV data and
+// enforces them, exposing the paper's full offline/online workflow:
+//
+//	guardrail gen     -dataset 2 -scale 0.1 -out data.csv
+//	guardrail synth   -in data.csv -eps 0.02 -out constraints.gr
+//	guardrail check   -in dirty.csv -prog constraints.gr
+//	guardrail rectify -in dirty.csv -prog constraints.gr -out clean.csv
+//	guardrail show    -in data.csv
+//	guardrail analyze -in data.csv -prog constraints.gr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "guardrail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "synth":
+		return cmdSynth(args[1:])
+	case "check":
+		return cmdCheck(args[1:], false)
+	case "rectify":
+		return cmdCheck(args[1:], true)
+	case "show":
+		return cmdShow(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadCSV(path string) (*dataset.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.FromCSV(f, path)
+}
+
+func writeCSV(rel *dataset.Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rel.ToCSV(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	id := fs.Int("dataset", 2, "Table 2 dataset id (1-12)")
+	scale := fs.Float64("scale", 0.1, "row-count scale in (0,1]")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	out := fs.String("out", "data.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := bn.SpecByID(*id)
+	if err != nil {
+		return err
+	}
+	rel, err := spec.Generate(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(rel, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows x %d attrs of %q to %s\n", rel.NumRows(), rel.NumAttrs(), spec.Name, *out)
+	return nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	in := fs.String("in", "", "training CSV (required)")
+	out := fs.String("out", "", "output constraint file (default: stdout)")
+	eps := fs.Float64("eps", 0.02, "epsilon-validity threshold")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	identity := fs.Bool("identity-sampler", false, "disable the auxiliary-distribution sampler")
+	asJSON := fs.Bool("json", false, "emit the program as JSON instead of the surface syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("synth: -in is required")
+	}
+	rel, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity})
+	if err != nil {
+		return err
+	}
+	var text string
+	if *asJSON {
+		data, err := dsl.MarshalJSON(res.Program, rel)
+		if err != nil {
+			return err
+		}
+		text = string(data)
+	} else {
+		text = dsl.Format(res.Program, rel)
+	}
+	if *out == "" {
+		fmt.Println(text)
+	} else if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "synthesized %d statements (coverage %.3f, %d DAGs in MEC, %s total)\n",
+		len(res.Program.Stmts), res.Coverage, res.NumDAGs, res.TotalTime().Round(1000))
+	return nil
+}
+
+func cmdCheck(args []string, rectify bool) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	in := fs.String("in", "", "CSV to validate (required)")
+	prog := fs.String("prog", "", "constraint file from `guardrail synth` (required)")
+	out := fs.String("out", "", "rectified CSV output (rectify only)")
+	strategy := fs.String("strategy", "ignore", "raise|ignore|coerce|rectify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *prog == "" {
+		return fmt.Errorf("-in and -prog are required")
+	}
+	rel, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*prog)
+	if err != nil {
+		return err
+	}
+	program, err := dsl.Parse(string(src), rel)
+	if err != nil {
+		return err
+	}
+	strat := core.Ignore
+	if rectify {
+		strat = core.Rectify
+	} else if s, err := core.ParseStrategy(*strategy); err == nil {
+		strat = s
+	} else {
+		return err
+	}
+	rep, err := core.NewGuard(program, strat).Apply(rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked %d rows: %d flagged, %d cells changed (strategy %s)\n",
+		rep.RowsChecked, rep.RowsFlagged, rep.CellsChanged, strat)
+	for i, fl := range rep.Flagged {
+		if fl {
+			fmt.Printf("  row %d violates constraints\n", i)
+		}
+	}
+	if rectify && *out != "" {
+		if err := writeCSV(rel, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote rectified data to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "", "CSV the program was synthesized from (required)")
+	prog := fs.String("prog", "", "constraint file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *prog == "" {
+		return fmt.Errorf("analyze: -in and -prog are required")
+	}
+	rel, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*prog)
+	if err != nil {
+		return err
+	}
+	program, err := dsl.Parse(string(src), rel)
+	if err != nil {
+		return err
+	}
+	simplified := dsl.Simplify(program)
+	st := dsl.Analyze(simplified)
+	fmt.Printf("statements: %d (after simplification: %d)\n", len(program.Stmts), len(simplified.Stmts))
+	fmt.Printf("branches:   %d\n", st.Branches)
+	fmt.Printf("coverage:   %.3f\n", dsl.Coverage(simplified, rel))
+	fmt.Printf("loss:       %d rows\n", dsl.Loss(simplified, rel))
+	fmt.Print("governed attributes:")
+	for _, a := range st.GovernedAttrs {
+		fmt.Printf(" %s", rel.Attr(a))
+	}
+	fmt.Print("\ndeterminant attributes:")
+	for _, a := range st.DeterminantAttrs {
+		fmt.Printf(" %s", rel.Attr(a))
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	in := fs.String("in", "", "CSV to summarize (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("show: -in is required")
+	}
+	rel, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rows, %d attributes\n", *in, rel.NumRows(), rel.NumAttrs())
+	for a := 0; a < rel.NumAttrs(); a++ {
+		fmt.Printf("  %-24s cardinality %d\n", rel.Attr(a), rel.Cardinality(a))
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndWorkflow drives the CLI through the full gen → synth →
+// check → rectify → analyze workflow on a temp directory.
+func TestEndToEndWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	prog := filepath.Join(dir, "constraints.gr")
+	fixed := filepath.Join(dir, "clean.csv")
+
+	if err := run([]string{"gen", "-dataset", "2", "-scale", "0.05", "-seed", "1", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := run([]string{"synth", "-in", data, "-eps", "0.02", "-out", prog}); err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	src, err := os.ReadFile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "GIVEN") {
+		t.Fatalf("constraint file has no GIVEN clause:\n%s", src)
+	}
+	if err := run([]string{"check", "-in", data, "-prog", prog}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if err := run([]string{"rectify", "-in", data, "-prog", prog, "-out", fixed}); err != nil {
+		t.Fatalf("rectify: %v", err)
+	}
+	if _, err := os.Stat(fixed); err != nil {
+		t.Fatalf("rectified output missing: %v", err)
+	}
+	if err := run([]string{"show", "-in", data}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if err := run([]string{"analyze", "-in", data, "-prog", prog}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+}
+
+func TestSynthJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	prog := filepath.Join(dir, "constraints.json")
+	if err := run([]string{"gen", "-dataset", "6", "-scale", "0.05", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"synth", "-in", data, "-json", "-out", prog}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), `"statements"`) {
+		t.Fatalf("not JSON:\n%s", src)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"synth"},                        // missing -in
+		{"check", "-in", "x.csv"},        // missing -prog
+		{"show"},                         // missing -in
+		{"analyze", "-in", "nope.csv"},   // missing -prog
+		{"gen", "-dataset", "99"},        // unknown dataset
+		{"synth", "-in", "/nonexistent"}, // unreadable input
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("no error for %v", args)
+		}
+	}
+}
+
+func TestCheckRaiseStrategy(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	prog := filepath.Join(dir, "constraints.gr")
+	if err := run([]string{"gen", "-dataset", "2", "-scale", "0.05", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"synth", "-in", data, "-out", prog}); err != nil {
+		t.Fatal(err)
+	}
+	// Clean data passes even under raise.
+	if err := run([]string{"check", "-in", data, "-prog", prog, "-strategy", "raise"}); err != nil {
+		t.Fatalf("raise on clean data: %v", err)
+	}
+	if err := run([]string{"check", "-in", data, "-prog", prog, "-strategy", "explode"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/guardrail-db/guardrail
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package auxdist implements the auxiliary distribution of Def. 4.5: for a
+// pair of rows t1, t2 ~ P_D, the binary vector I with I_k = 1 iff
+// t1(a_k) == t2(a_k). Proposition 5 of the paper shows P_I preserves the
+// conditional-independence structure of P_D, so the PGM can be learned from
+// I-samples instead — far denser and friendlier to CI testing on
+// high-cardinality attributes.
+//
+// Sampling uses the circular-shift trick of FDX [43]: pairing every row i
+// with row (i+s) mod n for a handful of random shifts s produces n samples
+// per shift in O(n) without materializing the quadratic pair space.
+package auxdist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// Binary is a dense binary dataset implementing stats.Data.
+type Binary struct {
+	names []string
+	cols  [][]int32
+	n     int
+}
+
+// NumVars reports the number of variables.
+func (b *Binary) NumVars() int { return len(b.cols) }
+
+// N reports the number of samples.
+func (b *Binary) N() int { return b.n }
+
+// Card is always 2.
+func (b *Binary) Card(i int) int { return 2 }
+
+// Codes returns column i.
+func (b *Binary) Codes(i int) []int32 { return b.cols[i] }
+
+// Name returns the originating attribute name of variable i.
+func (b *Binary) Name(i int) string { return b.names[i] }
+
+// Options controls sampling.
+type Options struct {
+	// Shifts is the number of circular shifts (default 8); the sample size
+	// is Shifts * NumRows.
+	Shifts int
+	// MaxSamples caps the total sample count (default 200000).
+	MaxSamples int
+	// Seed drives shift selection.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Shifts == 0 {
+		o.Shifts = 8
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 200000
+	}
+}
+
+// Sample draws from the auxiliary distribution of rel.
+func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
+	opts.defaults()
+	n := rel.NumRows()
+	if n < 2 {
+		return nil, fmt.Errorf("auxdist: need at least 2 rows, have %d", n)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	shifts := pickShifts(n, opts.Shifts, rng)
+
+	perShift := n
+	total := perShift * len(shifts)
+	if total > opts.MaxSamples {
+		perShift = opts.MaxSamples / len(shifts)
+		if perShift < 1 {
+			perShift = 1
+		}
+		total = perShift * len(shifts)
+	}
+
+	m := rel.NumAttrs()
+	out := &Binary{names: append([]string(nil), rel.Attrs()...), cols: make([][]int32, m), n: total}
+	for c := 0; c < m; c++ {
+		out.cols[c] = make([]int32, 0, total)
+	}
+	for _, s := range shifts {
+		start := 0
+		if perShift < n {
+			start = rng.Intn(n)
+		}
+		for k := 0; k < perShift; k++ {
+			i := (start + k) % n
+			j := (i + s) % n
+			for c := 0; c < m; c++ {
+				col := rel.Column(c)
+				if col[i] == col[j] {
+					out.cols[c] = append(out.cols[c], 1)
+				} else {
+					out.cols[c] = append(out.cols[c], 0)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// pickShifts draws k distinct shifts in [1, n-1].
+func pickShifts(n, k int, rng *rand.Rand) []int {
+	if k >= n-1 {
+		out := make([]int, 0, n-1)
+		for s := 1; s < n; s++ {
+			out = append(out, s)
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		s := 1 + rng.Intn(n-1)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Identity converts rel into a stats.Data view without the auxiliary
+// transform — the "identity sampler" ablated in Table 8.
+func Identity(rel *dataset.Relation) *Raw { return &Raw{rel: rel} }
+
+// Raw adapts a Relation to stats.Data directly.
+type Raw struct {
+	rel *dataset.Relation
+}
+
+// NumVars reports the number of attributes.
+func (r *Raw) NumVars() int { return r.rel.NumAttrs() }
+
+// N reports the number of rows.
+func (r *Raw) N() int { return r.rel.NumRows() }
+
+// Card reports the attribute's dictionary size.
+func (r *Raw) Card(i int) int { return r.rel.Cardinality(i) }
+
+// Codes returns attribute i's codes.
+func (r *Raw) Codes(i int) []int32 { return r.rel.Column(i) }
+
+// Name returns attribute i's name.
+func (r *Raw) Name(i int) string { return r.rel.Attr(i) }

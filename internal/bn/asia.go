@@ -1,0 +1,48 @@
+package bn
+
+// Asia returns the classic 8-node "Asia" network (Lauritzen & Spiegelhalter
+// 1988) from the bnlearn repository, the canonical discrete benchmark for
+// structure learning. Its "either" node — either = tuberculosis OR lung
+// cancer — is exactly deterministic, making Asia a natural integrity-
+// constraint benchmark in the paper's sense: GIVEN tub, lung ON either is a
+// ground-truth statement every synthesizer should recover.
+//
+// Node order: asia, smoke, tub, lung, bronc, either, xray, dysp.
+// Value 0 = yes, value 1 = no throughout.
+func Asia() *Network {
+	return &Network{Nodes: []Node{
+		{Name: "asia", Card: 2, CPT: []float64{0.01, 0.99}},
+		{Name: "smoke", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "tub", Card: 2, Parents: []int{0}, CPT: []float64{
+			0.05, 0.95, // asia = yes
+			0.01, 0.99, // asia = no
+		}},
+		{Name: "lung", Card: 2, Parents: []int{1}, CPT: []float64{
+			0.1, 0.9, // smoke = yes
+			0.01, 0.99, // smoke = no
+		}},
+		{Name: "bronc", Card: 2, Parents: []int{1}, CPT: []float64{
+			0.6, 0.4,
+			0.3, 0.7,
+		}},
+		// either = tub OR lung: the deterministic integrity constraint.
+		{Name: "either", Card: 2, Parents: []int{2, 3}, Deterministic: true,
+			CPT: deterministicCPT(4, 2, func(cfg int) int {
+				tub, lung := cfg/2, cfg%2
+				if tub == 0 || lung == 0 {
+					return 0
+				}
+				return 1
+			})},
+		{Name: "xray", Card: 2, Parents: []int{5}, CPT: []float64{
+			0.98, 0.02, // either = yes
+			0.05, 0.95,
+		}},
+		{Name: "dysp", Card: 2, Parents: []int{5, 4}, CPT: []float64{
+			0.9, 0.1, // either = yes, bronc = yes
+			0.7, 0.3, // yes, no
+			0.8, 0.2, // no, yes
+			0.1, 0.9, // no, no
+		}},
+	}}
+}

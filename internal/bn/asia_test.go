@@ -1,0 +1,67 @@
+package bn
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/graph"
+)
+
+func TestAsiaValidates(t *testing.T) {
+	nw := Asia()
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Nodes) != 8 {
+		t.Fatalf("asia has %d nodes", len(nw.Nodes))
+	}
+	d := nw.TrueDAG()
+	// Canonical edges.
+	for _, e := range [][2]int{{0, 2}, {1, 3}, {1, 4}, {2, 5}, {3, 5}, {5, 6}, {5, 7}, {4, 7}} {
+		if !d.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v in %s", e, d)
+		}
+	}
+	if d.NumEdges() != 8 {
+		t.Fatalf("asia has %d edges, want 8", d.NumEdges())
+	}
+}
+
+func TestAsiaEitherDeterministic(t *testing.T) {
+	rel, err := Asia().Sample(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tub, lung, either := rel.AttrIndex("tub"), rel.AttrIndex("lung"), rel.AttrIndex("either")
+	for i := 0; i < rel.NumRows(); i++ {
+		want := int32(1)
+		if rel.Code(i, tub) == 0 || rel.Code(i, lung) == 0 {
+			want = 0
+		}
+		if rel.Code(i, either) != want {
+			t.Fatalf("either constraint violated at row %d", i)
+		}
+	}
+}
+
+func TestAsiaCPDAGContainsTruth(t *testing.T) {
+	// The v-structure tub -> either <- lung is compelled, so every member
+	// of the true MEC keeps those two edges.
+	d := Asia().TrueDAG()
+	cp := graph.CPDAGFromDAG(d)
+	if !cp.HasDirected(2, 5) || !cp.HasDirected(3, 5) {
+		t.Fatalf("collider not compelled in CPDAG: %s", cp)
+	}
+	dags, err := graph.EnumerateMEC(cp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range dags {
+		if m.Key() == d.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("true Asia DAG not in its own MEC (size %d)", len(dags))
+	}
+}

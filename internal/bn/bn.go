@@ -1,0 +1,182 @@
+// Package bn provides the data-generating substrate for the reproduction:
+// discrete Bayesian networks used as ground-truth structural equation
+// models (SEMs, Def. 4.3). Sampling a network yields a categorical relation
+// whose integrity constraints are known exactly — the deterministic CPT
+// rows are the ground-truth DGP statements Guardrail must recover.
+//
+// The paper evaluates on 12 real datasets (Table 2) that are not available
+// offline; Registry defines 12 synthetic analogs with the same schema sizes
+// generated from random SEMs (see DESIGN.md §3 for the substitution
+// rationale).
+package bn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/graph"
+)
+
+// Node is one variable of a network.
+type Node struct {
+	Name    string
+	Card    int
+	Parents []int // indices of parent nodes; must precede this node
+	// CPT holds P(X = v | parents = cfg) in row-major order: for each
+	// mixed-radix parent configuration, Card probabilities. A row that puts
+	// probability 1 on a single value is deterministic — an integrity
+	// constraint in the paper's sense.
+	CPT []float64
+	// Deterministic marks nodes whose every CPT row is a point mass.
+	Deterministic bool
+}
+
+// Network is a discrete Bayesian network in topological node order.
+type Network struct {
+	Nodes []Node
+}
+
+// Validate checks structural invariants: parent ordering, CPT shapes, and
+// row normalization.
+func (nw *Network) Validate() error {
+	for i, nd := range nw.Nodes {
+		if nd.Card < 1 {
+			return fmt.Errorf("bn: node %d (%s) has cardinality %d", i, nd.Name, nd.Card)
+		}
+		cfgs := 1
+		for _, p := range nd.Parents {
+			if p >= i {
+				return fmt.Errorf("bn: node %d (%s) has parent %d not preceding it", i, nd.Name, p)
+			}
+			cfgs *= nw.Nodes[p].Card
+		}
+		if len(nd.CPT) != cfgs*nd.Card {
+			return fmt.Errorf("bn: node %d (%s) CPT has %d entries, want %d", i, nd.Name, len(nd.CPT), cfgs*nd.Card)
+		}
+		for r := 0; r < cfgs; r++ {
+			var s float64
+			for v := 0; v < nd.Card; v++ {
+				s += nd.CPT[r*nd.Card+v]
+			}
+			if s < 0.999 || s > 1.001 {
+				return fmt.Errorf("bn: node %d (%s) CPT row %d sums to %g", i, nd.Name, r, s)
+			}
+		}
+	}
+	return nil
+}
+
+// TrueDAG returns the network's ground-truth structure.
+func (nw *Network) TrueDAG() *graph.DAG {
+	d := graph.NewDAG(len(nw.Nodes))
+	for i, nd := range nw.Nodes {
+		for _, p := range nd.Parents {
+			if err := d.AddEdge(p, i); err != nil {
+				panic(fmt.Sprintf("bn: invalid network structure: %v", err))
+			}
+		}
+	}
+	return d
+}
+
+// Sample draws n rows by ancestral sampling, deterministically per seed.
+// Value strings are "<name>_v<code>" so dictionaries line up with codes.
+func (nw *Network) Sample(n int, seed int64) (*dataset.Relation, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(nw.Nodes))
+	for i, nd := range nw.Nodes {
+		names[i] = nd.Name
+	}
+	rel := dataset.New("bn", names)
+	// Pre-intern every value so codes equal sampled category indices.
+	for i, nd := range nw.Nodes {
+		for v := 0; v < nd.Card; v++ {
+			rel.Intern(i, fmt.Sprintf("%s_v%d", nd.Name, v))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	row := make([]int32, len(nw.Nodes))
+	for r := 0; r < n; r++ {
+		for i, nd := range nw.Nodes {
+			cfg := 0
+			for _, p := range nd.Parents {
+				cfg = cfg*nw.Nodes[p].Card + int(row[p])
+			}
+			row[i] = drawCategory(nd.CPT[cfg*nd.Card:(cfg+1)*nd.Card], rng)
+		}
+		if err := rel.AppendCodes(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func drawCategory(probs []float64, rng *rand.Rand) int32 {
+	u := rng.Float64()
+	var acc float64
+	for v, p := range probs {
+		acc += p
+		if u < acc {
+			return int32(v)
+		}
+	}
+	return int32(len(probs) - 1)
+}
+
+// uniformCPT returns a CPT with uniform rows.
+func uniformCPT(cfgs, card int) []float64 {
+	cpt := make([]float64, cfgs*card)
+	for i := range cpt {
+		cpt[i] = 1 / float64(card)
+	}
+	return cpt
+}
+
+// deterministicCPT returns a CPT where each parent configuration maps to a
+// single value chosen by f.
+func deterministicCPT(cfgs, card int, f func(cfg int) int) []float64 {
+	cpt := make([]float64, cfgs*card)
+	for r := 0; r < cfgs; r++ {
+		cpt[r*card+f(r)%card] = 1
+	}
+	return cpt
+}
+
+// noisyDeterministicCPT is deterministicCPT with probability 1-noise on the
+// functional value and the remainder spread uniformly.
+func noisyDeterministicCPT(cfgs, card int, noise float64, f func(cfg int) int) []float64 {
+	cpt := make([]float64, cfgs*card)
+	for r := 0; r < cfgs; r++ {
+		main := f(r) % card
+		for v := 0; v < card; v++ {
+			if v == main {
+				cpt[r*card+v] = 1 - noise + noise/float64(card)
+			} else {
+				cpt[r*card+v] = noise / float64(card)
+			}
+		}
+	}
+	return cpt
+}
+
+// randomCPT draws each row from a symmetric Dirichlet via normalized
+// exponentials, with a mild concentration so rows are informative.
+func randomCPT(cfgs, card int, rng *rand.Rand) []float64 {
+	cpt := make([]float64, cfgs*card)
+	for r := 0; r < cfgs; r++ {
+		var s float64
+		for v := 0; v < card; v++ {
+			x := rng.ExpFloat64()
+			x = x * x // skew toward peaked rows
+			cpt[r*card+v] = x
+			s += x
+		}
+		for v := 0; v < card; v++ {
+			cpt[r*card+v] /= s
+		}
+	}
+	return cpt
+}

@@ -1,0 +1,209 @@
+package bn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCancerValidates(t *testing.T) {
+	nw := Cancer()
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := nw.TrueDAG()
+	if !d.HasEdge(0, 2) || !d.HasEdge(1, 2) || !d.HasEdge(2, 3) || !d.HasEdge(2, 4) {
+		t.Fatalf("Cancer DAG wrong: %s", d)
+	}
+}
+
+func TestSampleShapeAndDeterminism(t *testing.T) {
+	nw := Cancer()
+	rel, err := nw.Sample(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 500 || rel.NumAttrs() != 5 {
+		t.Fatalf("shape %d x %d", rel.NumRows(), rel.NumAttrs())
+	}
+	rel2, _ := nw.Sample(500, 7)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 5; j++ {
+			if rel.Code(i, j) != rel2.Code(i, j) {
+				t.Fatalf("sampling not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleMarginals(t *testing.T) {
+	// Smoker marginal should be near 0.3/0.7.
+	nw := Cancer()
+	rel, err := nw.Sample(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoker := rel.AttrIndex("smoker")
+	cnt := 0
+	for i := 0; i < rel.NumRows(); i++ {
+		if rel.Code(i, smoker) == 0 {
+			cnt++
+		}
+	}
+	frac := float64(cnt) / float64(rel.NumRows())
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("smoker=yes fraction = %g, want ~0.3", frac)
+	}
+}
+
+func TestPostalChainDeterminism(t *testing.T) {
+	nw := PostalChain(8)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := nw.Sample(2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// City must be a function of PostalCode; State of City; Country of State.
+	for pair := 0; pair < 3; pair++ {
+		seen := map[int32]int32{}
+		for i := 0; i < rel.NumRows(); i++ {
+			k, v := rel.Code(i, pair), rel.Code(i, pair+1)
+			if prev, ok := seen[k]; ok && prev != v {
+				t.Fatalf("column %d not functional in column %d", pair+1, pair)
+			}
+			seen[k] = v
+		}
+	}
+}
+
+func TestHospitalEitherConstraint(t *testing.T) {
+	nw := Hospital()
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := nw.Sample(5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tub, lung, either := rel.AttrIndex("tub"), rel.AttrIndex("lung"), rel.AttrIndex("either")
+	for i := 0; i < rel.NumRows(); i++ {
+		want := int32(1)
+		if rel.Code(i, tub) == 0 || rel.Code(i, lung) == 0 {
+			want = 0
+		}
+		if rel.Code(i, either) != want {
+			t.Fatalf("either constraint violated at row %d", i)
+		}
+	}
+}
+
+func TestRandomSEMValidates(t *testing.T) {
+	for _, attrs := range []int{4, 10, 28, 40} {
+		nw := RandomSEM(SEMSpec{Attrs: attrs, Seed: int64(attrs)})
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("attrs=%d: %v", attrs, err)
+		}
+		if len(nw.Nodes) != attrs {
+			t.Fatalf("attrs=%d: got %d nodes", attrs, len(nw.Nodes))
+		}
+		hasDet := false
+		for _, nd := range nw.Nodes {
+			if nd.Deterministic {
+				hasDet = true
+			}
+		}
+		if attrs >= 10 && !hasDet {
+			t.Fatalf("attrs=%d: no deterministic node — no constraints to find", attrs)
+		}
+	}
+}
+
+func TestRegistryShapes(t *testing.T) {
+	if len(Registry) != 12 {
+		t.Fatalf("registry has %d entries", len(Registry))
+	}
+	for _, spec := range Registry {
+		nw := spec.Network()
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(nw.Nodes) != spec.Attrs {
+			t.Fatalf("%s: %d nodes, spec says %d", spec.Name, len(nw.Nodes), spec.Attrs)
+		}
+		found := false
+		for _, nd := range nw.Nodes {
+			if nd.Name == spec.LabelAttr {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: label attr %q not in network", spec.Name, spec.LabelAttr)
+		}
+	}
+}
+
+func TestRegistryGenerate(t *testing.T) {
+	spec, err := SpecByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := spec.Generate(1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != spec.Rows || rel.NumAttrs() != spec.Attrs {
+		t.Fatalf("generated %d x %d, want %d x %d", rel.NumRows(), rel.NumAttrs(), spec.Rows, spec.Attrs)
+	}
+	if _, err := spec.Generate(0, 1); err == nil {
+		t.Fatal("scale 0 should error")
+	}
+	if _, err := SpecByID(99); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestValidateRejectsBadNetworks(t *testing.T) {
+	bad := &Network{Nodes: []Node{
+		{Name: "x", Card: 2, CPT: []float64{0.5, 0.4}}, // doesn't sum to 1
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unnormalized CPT accepted")
+	}
+	bad2 := &Network{Nodes: []Node{
+		{Name: "x", Card: 2, Parents: []int{0}, CPT: []float64{1, 0, 0, 1}},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+	bad3 := &Network{Nodes: []Node{
+		{Name: "x", Card: 2, CPT: []float64{1}},
+	}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("short CPT accepted")
+	}
+}
+
+// Property: sampled codes are always within each node's cardinality.
+func TestSampleRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nw := RandomSEM(SEMSpec{Attrs: 6, Seed: seed})
+		rel, err := nw.Sample(200, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rel.NumRows(); i++ {
+			for j := 0; j < rel.NumAttrs(); j++ {
+				c := rel.Code(i, j)
+				if c < 0 || int(c) >= nw.Nodes[j].Card {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

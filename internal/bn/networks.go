@@ -1,0 +1,244 @@
+package bn
+
+import (
+	"math/rand"
+)
+
+// Cancer returns a 5-node network with the topology of the classic
+// "Cancer" network from the bnlearn repository — the paper's Lung Cancer
+// dataset analog (Table 2 row 2, 5 attributes): Pollution and Smoker cause
+// Cancer; Cancer causes Xray and Dyspnoea. Following the paper's note that
+// "some causal relationships enforce integrity constraints on the data",
+// the dysp mechanism is deterministic (dysp = cancer OR smoker) and class
+// marginals are kept balanced so the constraint is learnable.
+func Cancer() *Network {
+	return &Network{Nodes: []Node{
+		{Name: "pollution", Card: 2, CPT: []float64{0.6, 0.4}}, // low, high
+		{Name: "smoker", Card: 2, CPT: []float64{0.3, 0.7}},    // yes, no
+		{Name: "cancer", Card: 2, Parents: []int{0, 1}, CPT: []float64{ // yes, no
+			0.55, 0.45, // pollution=low, smoker=yes
+			0.2, 0.8, // low, no
+			0.75, 0.25, // high, yes
+			0.35, 0.65, // high, no
+		}},
+		{Name: "xray", Card: 2, Parents: []int{2}, CPT: []float64{ // pos, neg
+			0.9, 0.1, // cancer=yes
+			0.2, 0.8, // cancer=no
+		}},
+		// dysp = yes iff cancer = yes or smoker = yes: a deterministic
+		// integrity constraint GIVEN cancer, smoker ON dysp.
+		{Name: "dysp", Card: 2, Parents: []int{2, 1}, Deterministic: true,
+			CPT: deterministicCPT(4, 2, func(cfg int) int {
+				cancer, smoker := cfg/2, cfg%2
+				if cancer == 0 || smoker == 0 {
+					return 0
+				}
+				return 1
+			})},
+	}}
+}
+
+// PostalChain returns the PostalCode -> City -> State -> Country chain of
+// Example 3.1: each edge is a deterministic many-to-one map, so the chain's
+// statements are exact integrity constraints, while PostalCode -> State is
+// only an indirect dependency the synthesizer must not emit.
+func PostalChain(numCodes int) *Network {
+	if numCodes < 4 {
+		numCodes = 4
+	}
+	cities := numCodes / 2
+	states := (cities + 1) / 2
+	countries := 2
+	return &Network{Nodes: []Node{
+		{Name: "PostalCode", Card: numCodes, CPT: uniformCPT(1, numCodes)},
+		{Name: "City", Card: cities, Parents: []int{0}, Deterministic: true,
+			CPT: deterministicCPT(numCodes, cities, func(cfg int) int { return cfg / 2 })},
+		{Name: "State", Card: states, Parents: []int{1}, Deterministic: true,
+			CPT: deterministicCPT(cities, states, func(cfg int) int { return cfg / 2 })},
+		{Name: "Country", Card: countries, Parents: []int{2}, Deterministic: true,
+			CPT: deterministicCPT(states, countries, func(cfg int) int { return cfg % 2 })},
+	}}
+}
+
+// Hospital returns the Fig. 1 hospital analog: a small medical network with
+// a deterministic relationship (relationship -> marital status style) plus
+// the dyspnea label depending on clinical attributes, used by the
+// ML-integrated query experiments.
+func Hospital() *Network {
+	return &Network{Nodes: []Node{
+		{Name: "floor", Card: 4, CPT: uniformCPT(1, 4)},
+		{Name: "smoker", Card: 2, CPT: []float64{0.35, 0.65}},
+		{Name: "tub", Card: 2, Parents: []int{1}, CPT: []float64{
+			0.1, 0.9,
+			0.02, 0.98,
+		}},
+		{Name: "lung", Card: 2, Parents: []int{1}, CPT: []float64{
+			0.2, 0.8,
+			0.03, 0.97,
+		}},
+		// either = tub OR lung, deterministic: a ground-truth constraint.
+		{Name: "either", Card: 2, Parents: []int{2, 3}, Deterministic: true,
+			CPT: deterministicCPT(4, 2, func(cfg int) int {
+				tub, lung := cfg/2, cfg%2
+				if tub == 0 || lung == 0 {
+					return 0
+				}
+				return 1
+			})},
+		{Name: "xray", Card: 2, Parents: []int{4}, CPT: []float64{
+			0.98, 0.02,
+			0.05, 0.95,
+		}},
+		{Name: "dysp", Card: 2, Parents: []int{4}, CPT: []float64{
+			0.9, 0.1,
+			0.2, 0.8,
+		}},
+	}}
+}
+
+// SEMSpec configures RandomSEM.
+type SEMSpec struct {
+	Attrs      int     // number of endogenous attributes
+	MaxParents int     // cap on parent-set size (default 3)
+	MaxCard    int     // cap on cardinalities (default 6)
+	DetFrac    float64 // fraction of non-root nodes that are deterministic (default 0.5)
+	Noise      float64 // CPT noise for noisy-deterministic nodes (default 0.03)
+	RootFrac   float64 // fraction of nodes with no parents (default 0.3)
+	// HighCardFrac is the fraction of root nodes given a large domain
+	// (IDs, zip-code-like attributes) — the overfitting fuel real datasets
+	// offer exact-FD miners (default 0.15; larger values starve every
+	// method of per-group samples at laptop scales).
+	HighCardFrac float64
+	// HighCard is the domain size of high-cardinality roots (default 60).
+	HighCard int
+	Seed     int64
+}
+
+func (s *SEMSpec) defaults() {
+	if s.MaxParents == 0 {
+		s.MaxParents = 3
+	}
+	if s.MaxCard == 0 {
+		s.MaxCard = 6
+	}
+	if s.DetFrac == 0 {
+		s.DetFrac = 0.5
+	}
+	if s.Noise == 0 {
+		s.Noise = 0.03
+	}
+	if s.RootFrac == 0 {
+		s.RootFrac = 0.3
+	}
+	if s.HighCardFrac == 0 {
+		s.HighCardFrac = 0.15
+	}
+	if s.HighCard == 0 {
+		s.HighCard = 60
+	}
+}
+
+// RandomSEM generates a random ground-truth SEM: a random DAG over Attrs
+// nodes where a DetFrac share of non-root nodes are (nearly) deterministic
+// functions of their parents — the integrity constraints to recover — and
+// the rest carry random CPTs (exogenous noise).
+func RandomSEM(spec SEMSpec) *Network {
+	spec.defaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Attrs
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		card := 2 + rng.Intn(spec.MaxCard-1)
+		var parents []int
+		isRoot := i == 0 || rng.Float64() < spec.RootFrac
+		if isRoot && rng.Float64() < spec.HighCardFrac {
+			card = spec.HighCard/2 + rng.Intn(spec.HighCard)
+		}
+		if !isRoot {
+			k := 1 + rng.Intn(spec.MaxParents)
+			if k > i {
+				k = i
+			}
+			parents = pickDistinct(i, k, rng)
+		}
+		cfgs := 1
+		for _, p := range parents {
+			cfgs *= nodes[p].Card
+		}
+		nd := Node{Name: attrName(i), Card: card, Parents: parents}
+		switch {
+		case len(parents) == 0:
+			nd.CPT = randomCPT(1, card, rng)
+		case rng.Float64() < spec.DetFrac:
+			salt := rng.Intn(1 << 16)
+			if rng.Float64() < 0.5 {
+				nd.Deterministic = true
+				nd.CPT = deterministicCPT(cfgs, card, func(cfg int) int { return hashCfg(cfg, salt) })
+			} else {
+				nd.CPT = noisyDeterministicCPT(cfgs, card, spec.Noise, func(cfg int) int { return hashCfg(cfg, salt) })
+			}
+		default:
+			nd.CPT = randomCPT(cfgs, card, rng)
+		}
+		nodes[i] = nd
+	}
+	// Guarantee at least one exactly-deterministic node so every generated
+	// dataset contains a ground-truth integrity constraint. If the random
+	// draw produced an edgeless graph, first give the last node a parent.
+	hasDet := false
+	hasEdge := false
+	for _, nd := range nodes {
+		if nd.Deterministic {
+			hasDet = true
+		}
+		if len(nd.Parents) > 0 {
+			hasEdge = true
+		}
+	}
+	if n > 1 && !hasEdge {
+		nodes[n-1].Parents = []int{n - 2}
+	}
+	if !hasDet {
+		for i := n - 1; i > 0; i-- {
+			if len(nodes[i].Parents) == 0 {
+				continue
+			}
+			cfgs := 1
+			for _, p := range nodes[i].Parents {
+				cfgs *= nodes[p].Card
+			}
+			salt := rng.Intn(1 << 16)
+			nodes[i].Deterministic = true
+			nodes[i].CPT = deterministicCPT(cfgs, nodes[i].Card, func(cfg int) int { return hashCfg(cfg, salt) })
+			break
+		}
+	}
+	return &Network{Nodes: nodes}
+}
+
+func pickDistinct(limit, k int, rng *rand.Rand) []int {
+	perm := rng.Perm(limit)
+	out := append([]int(nil), perm[:k]...)
+	return out
+}
+
+// hashCfg maps a parent configuration to a pseudo-random but fixed value,
+// giving deterministic CPT rows that are not merely cfg % card (which would
+// alias different parents).
+func hashCfg(cfg, salt int) int {
+	x := uint64(cfg)*2654435761 + uint64(salt)
+	x ^= x >> 16
+	x *= 2246822519
+	x ^= x >> 13
+	return int(x & 0x7fffffff)
+}
+
+// attrName names attributes spreadsheet-style: a..z, aa, ab, ...
+func attrName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if i < len(letters) {
+		return "attr_" + string(letters[i])
+	}
+	i -= len(letters)
+	return "attr_" + string(letters[i/len(letters)]) + string(letters[i%len(letters)])
+}

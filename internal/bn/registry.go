@@ -1,0 +1,82 @@
+package bn
+
+import (
+	"fmt"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// DatasetSpec describes one of the 12 evaluation datasets (Table 2). The
+// real datasets are not available offline; each spec carries a generator
+// producing a synthetic analog with the same schema size from a known SEM,
+// plus a LabelAttr used as the prediction target in the ML experiments.
+type DatasetSpec struct {
+	ID        int
+	Name      string
+	Category  string
+	Attrs     int
+	Rows      int
+	LabelAttr string
+	network   func() *Network
+}
+
+// Network instantiates the ground-truth SEM for this dataset.
+func (s DatasetSpec) Network() *Network { return s.network() }
+
+// Generate samples rows*scale rows from the spec's SEM (scale in (0,1]
+// shrinks datasets for fast benchmarking; 1.0 reproduces Table 2 sizes).
+func (s DatasetSpec) Generate(scale float64, seed int64) (*dataset.Relation, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("bn: scale %g out of (0,1]", scale)
+	}
+	n := int(float64(s.Rows) * scale)
+	if n < 500 {
+		n = 500
+	}
+	nw := s.network()
+	rel, err := nw.Sample(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	rel.SetName(s.Name)
+	return rel, nil
+}
+
+// Registry lists the 12 dataset analogs in Table 2 order. Seeds are fixed
+// per dataset so every experiment sees the same ground truth.
+var Registry = []DatasetSpec{
+	{ID: 1, Name: "Adult", Category: "Demographic", Attrs: 15, Rows: 48842, LabelAttr: "attr_o",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 15, Seed: 101, DetFrac: 0.55}) }},
+	{ID: 2, Name: "Lung Cancer", Category: "Medical", Attrs: 5, Rows: 20000, LabelAttr: "dysp",
+		network: Cancer},
+	{ID: 3, Name: "Cylinder Bands", Category: "Manufacturing", Attrs: 40, Rows: 540, LabelAttr: "attr_an",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 40, Seed: 103, MaxCard: 8, DetFrac: 0.45}) }},
+	{ID: 4, Name: "Diabetes", Category: "Medical", Attrs: 9, Rows: 520, LabelAttr: "attr_i",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 9, Seed: 104}) }},
+	{ID: 5, Name: "Contraceptive Method Choice", Category: "Demographic", Attrs: 10, Rows: 1473, LabelAttr: "attr_j",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 10, Seed: 105}) }},
+	{ID: 6, Name: "Blood Transfusion Service Center", Category: "Medical", Attrs: 4, Rows: 748, LabelAttr: "attr_d",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 4, Seed: 106, DetFrac: 0.7}) }},
+	{ID: 7, Name: "Steel Plates Faults", Category: "Manufacturing", Attrs: 28, Rows: 1941, LabelAttr: "attr_ab",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 28, Seed: 107, MaxCard: 5}) }},
+	{ID: 8, Name: "Jungle Chess", Category: "Game", Attrs: 7, Rows: 44819, LabelAttr: "attr_g",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 7, Seed: 108, MaxCard: 8, DetFrac: 0.6}) }},
+	{ID: 9, Name: "Telco Customer Churn", Category: "Business", Attrs: 21, Rows: 7043, LabelAttr: "attr_u",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 21, Seed: 109, DetFrac: 0.55}) }},
+	{ID: 10, Name: "Bank Marketing", Category: "Business", Attrs: 17, Rows: 45211, LabelAttr: "attr_q",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 17, Seed: 110}) }},
+	{ID: 11, Name: "Phishing Websites", Category: "Security", Attrs: 31, Rows: 11055, LabelAttr: "attr_ae",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 31, Seed: 111, MaxCard: 3, DetFrac: 0.5}) }},
+	{ID: 12, Name: "Hotel Reservations", Category: "Business", Attrs: 18, Rows: 36275, LabelAttr: "attr_r",
+		network: func() *Network { return RandomSEM(SEMSpec{Attrs: 18, Seed: 112, DetFrac: 0.5}) }},
+}
+
+// SpecByID looks up a dataset spec by its Table 2 row id.
+func SpecByID(id int) (DatasetSpec, error) {
+	for _, s := range Registry {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("bn: no dataset with id %d", id)
+}

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// zipCSV is a tiny deterministic table with an exact FD PostalCode -> City.
+const zipCSV = `PostalCode,City
+94704,Berkeley
+94705,Berkeley
+10001,NewYork
+10002,NewYork
+60601,Chicago
+60602,Chicago
+`
+
+func exampleRelation() *dataset.Relation {
+	var b strings.Builder
+	b.WriteString("PostalCode,City\n")
+	for i := 0; i < 30; i++ {
+		b.WriteString(strings.SplitN(zipCSV, "\n", 2)[1])
+	}
+	rel, err := dataset.FromCSV(strings.NewReader(b.String()), "zip")
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// ExampleSynthesize shows the offline step: learning constraints from data.
+func ExampleSynthesize() {
+	rel := exampleRelation()
+	res, err := core.Synthesize(rel, core.Options{Epsilon: 0.01, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Program.Stmts), "statement(s)")
+	fmt.Println(strings.SplitN(dsl.Format(res.Program, rel), "\n", 2)[0])
+	// Output:
+	// 1 statement(s)
+	// GIVEN PostalCode ON City HAVING
+}
+
+// ExampleGuard_CheckRow shows the online step: vetting and repairing a row.
+func ExampleGuard_CheckRow() {
+	rel := exampleRelation()
+	res, err := core.Synthesize(rel, core.Options{Epsilon: 0.01, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	guard := core.NewGuard(res.Program, core.Rectify)
+
+	row := []int32{rel.Intern(0, "94704"), rel.Intern(1, "gibbon")}
+	violations, err := guard.CheckRow(row)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violations:", len(violations))
+	fmt.Println("repaired city:", rel.Dict(1).Value(row[1]))
+	// Output:
+	// violations: 1
+	// repaired city: Berkeley
+}
+
+// ExampleParseStrategy shows strategy names.
+func ExampleParseStrategy() {
+	s, err := core.ParseStrategy("rectify")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// rectify
+}

@@ -1,0 +1,157 @@
+// Package core is the public facade of the Guardrail reproduction: it
+// synthesizes integrity constraints from a (possibly noisy) relation and
+// enforces them at runtime with the paper's four error-handling strategies
+// — raise, ignore, coerce, and rectify (§7).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// Strategy selects how the guard handles a row that violates constraints.
+type Strategy int
+
+const (
+	// Raise returns an error on the first violating row.
+	Raise Strategy = iota
+	// Ignore reports violations but leaves rows untouched.
+	Ignore
+	// Coerce replaces each violating cell with the missing sentinel (NaN),
+	// matching pandas' errors="coerce".
+	Coerce
+	// Rectify overwrites each violating cell with the value the constraint
+	// assigns — the paper's novel strategy.
+	Rectify
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case Raise:
+		return "raise"
+	case Ignore:
+		return "ignore"
+	case Coerce:
+		return "coerce"
+	case Rectify:
+		return "rectify"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a strategy name to its value.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "raise":
+		return Raise, nil
+	case "ignore":
+		return Ignore, nil
+	case "coerce":
+		return Coerce, nil
+	case "rectify":
+		return Rectify, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", s)
+}
+
+// Options re-exports the synthesizer configuration.
+type Options = synth.Options
+
+// Result re-exports the synthesis result.
+type Result = synth.Result
+
+// Synthesize learns integrity constraints from rel — the offline step Bob
+// runs ahead of time in Example 1.2.
+func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
+	return synth.Synthesize(rel, opts)
+}
+
+// ErrViolation is returned by Raise-mode guards; errors.Is matches it.
+var ErrViolation = errors.New("guardrail: integrity constraint violated")
+
+// Guard enforces a synthesized program on incoming rows.
+type Guard struct {
+	prog     *dsl.Program
+	strategy Strategy
+}
+
+// NewGuard builds a guard. The program must have been validated against the
+// schema of the relations it will check.
+func NewGuard(prog *dsl.Program, strategy Strategy) *Guard {
+	return &Guard{prog: prog, strategy: strategy}
+}
+
+// Program returns the guarded constraint program.
+func (g *Guard) Program() *dsl.Program { return g.prog }
+
+// Strategy returns the guard's error-handling strategy.
+func (g *Guard) Strategy() Strategy { return g.strategy }
+
+// CheckRow applies the guard to one encoded row, possibly mutating it
+// (Coerce/Rectify). It reports the violations found; under Raise a non-nil
+// error wraps ErrViolation.
+func (g *Guard) CheckRow(row []int32) ([]dsl.Violation, error) {
+	vs := g.prog.Detect(row)
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	switch g.strategy {
+	case Raise:
+		return vs, fmt.Errorf("%w: attribute %d expected code %d, got %d",
+			ErrViolation, vs[0].Attr, vs[0].Expected, vs[0].Actual)
+	case Ignore:
+		return vs, nil
+	case Coerce:
+		for _, v := range vs {
+			row[v.Attr] = dataset.Missing
+		}
+		return vs, nil
+	case Rectify:
+		g.prog.Rectify(row)
+		return vs, nil
+	}
+	return vs, fmt.Errorf("core: unknown strategy %d", g.strategy)
+}
+
+// Report summarizes a relation-level guard pass.
+type Report struct {
+	RowsChecked  int
+	RowsFlagged  int
+	CellsChanged int
+	// Flagged[i] is true when row i violated at least one constraint.
+	Flagged []bool
+}
+
+// Apply runs the guard over every row of rel, mutating rel under
+// Coerce/Rectify. Under Raise it stops at the first violation.
+func (g *Guard) Apply(rel *dataset.Relation) (*Report, error) {
+	n := rel.NumRows()
+	rep := &Report{RowsChecked: n, Flagged: make([]bool, n)}
+	row := make([]int32, rel.NumAttrs())
+	for i := 0; i < n; i++ {
+		row = rel.Row(i, row)
+		vs, err := g.CheckRow(row)
+		if err != nil {
+			return rep, fmt.Errorf("row %d: %w", i, err)
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		rep.RowsFlagged++
+		rep.Flagged[i] = true
+		if g.strategy == Coerce || g.strategy == Rectify {
+			for c := 0; c < rel.NumAttrs(); c++ {
+				if rel.Code(i, c) != row[c] {
+					rel.SetCode(i, c, row[c])
+					rep.CellsChanged++
+				}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/errgen"
+)
+
+// fixture synthesizes constraints on a clean postal chain, then corrupts a
+// test split.
+type fixture struct {
+	prog  *dsl.Program
+	clean *dataset.Relation
+	dirty *dataset.Relation
+	mask  *errgen.Mask
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	rel, err := bn.PostalChain(8).Sample(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := rel.Split(0.6, 1)
+	res, err := Synthesize(train, Options{Epsilon: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Stmts) == 0 {
+		t.Fatal("no constraints synthesized")
+	}
+	dirty := test.Clone()
+	mask, err := errgen.Inject(dirty, errgen.Options{Rate: 0.05, MinErrors: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{prog: res.Program, clean: test, dirty: dirty, mask: mask}
+}
+
+func TestStrategyStringsAndParse(t *testing.T) {
+	for _, s := range []Strategy{Raise, Ignore, Coerce, Rectify} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip failed for %v: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("explode"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy has empty name")
+	}
+}
+
+func TestGuardIgnoreFlagsWithoutMutating(t *testing.T) {
+	f := setup(t)
+	snapshot := f.dirty.Clone()
+	g := NewGuard(f.prog, Ignore)
+	rep, err := g.Apply(f.dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsFlagged == 0 {
+		t.Fatal("no violations flagged on corrupted data")
+	}
+	if rep.CellsChanged != 0 {
+		t.Fatal("ignore mutated cells")
+	}
+	for i := 0; i < f.dirty.NumRows(); i++ {
+		for j := 0; j < f.dirty.NumAttrs(); j++ {
+			if f.dirty.Code(i, j) != snapshot.Code(i, j) {
+				t.Fatal("ignore changed the relation")
+			}
+		}
+	}
+}
+
+func TestGuardRaiseStopsEarly(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Raise)
+	_, err := g.Apply(f.dirty)
+	if err == nil {
+		t.Fatal("raise did not error on corrupted data")
+	}
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("error does not wrap ErrViolation: %v", err)
+	}
+	// A clean relation passes.
+	if _, err := g.Apply(f.clean.Clone()); err != nil {
+		t.Fatalf("clean data raised: %v", err)
+	}
+}
+
+func TestGuardCoerceInsertsMissing(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Coerce)
+	rep, err := g.Apply(f.dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsChanged == 0 {
+		t.Fatal("coerce changed nothing")
+	}
+	found := false
+	for i := 0; i < f.dirty.NumRows() && !found; i++ {
+		for j := 0; j < f.dirty.NumAttrs(); j++ {
+			if f.dirty.Code(i, j) == dataset.Missing {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Missing sentinel written")
+	}
+}
+
+func TestGuardRectifyRepairsTowardClean(t *testing.T) {
+	f := setup(t)
+	before := cellDiff(f.dirty, f.clean)
+	g := NewGuard(f.prog, Rectify)
+	rep, err := g.Apply(f.dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cellDiff(f.dirty, f.clean)
+	if after >= before {
+		t.Fatalf("rectify did not move toward clean data: %d -> %d", before, after)
+	}
+	if rep.CellsChanged == 0 {
+		t.Fatal("rectify reported no changes")
+	}
+	// Rectified data re-checks clean under the same constraints.
+	rep2, err := NewGuard(f.prog, Ignore).Apply(f.dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RowsFlagged != 0 {
+		t.Fatalf("%d rows still violate after rectify", rep2.RowsFlagged)
+	}
+}
+
+func cellDiff(a, b *dataset.Relation) int {
+	n := 0
+	for i := 0; i < a.NumRows(); i++ {
+		for j := 0; j < a.NumAttrs(); j++ {
+			if a.Value(i, j) != b.Value(i, j) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestGuardDetectionQuality(t *testing.T) {
+	// Flagged rows should be enriched in genuinely dirty rows (precision
+	// well above the base error rate).
+	f := setup(t)
+	g := NewGuard(f.prog, Ignore)
+	rep, err := g.Apply(f.dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp := 0, 0
+	for i, fl := range rep.Flagged {
+		if !fl {
+			continue
+		}
+		if f.mask.RowDirty[i] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no true positives")
+	}
+	prec := float64(tp) / float64(tp+fp)
+	if prec < 0.5 {
+		t.Fatalf("precision = %g, want >= 0.5", prec)
+	}
+}
+
+func TestCheckRowDirect(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Ignore)
+	row := f.clean.Row(0, nil)
+	vs, err := g.CheckRow(row)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("clean row flagged: %v %v", vs, err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// StreamStats summarizes a streaming guard pass.
+type StreamStats struct {
+	Rows    int
+	Flagged int
+	Changed int // cells rewritten by coerce/rectify
+}
+
+// StreamCSV vets a CSV stream row by row against the guard, writing the
+// (possibly repaired) rows to w — the online half of Example 1.2 for data
+// pipelines that never materialize a relation. The header must match
+// schema's attributes; unknown values intern into schema's dictionaries.
+// Under Raise, the first violating row aborts the stream.
+func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*StreamStats, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading stream header: %w", err)
+	}
+	if len(header) != schema.NumAttrs() {
+		return nil, fmt.Errorf("core: stream has %d columns, schema has %d", len(header), schema.NumAttrs())
+	}
+	colOf := make([]int, len(header))
+	for i, h := range header {
+		idx := schema.AttrIndex(h)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: stream column %q not in schema", h)
+		}
+		colOf[i] = idx
+	}
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+
+	stats := &StreamStats{}
+	row := make([]int32, schema.NumAttrs())
+	out := make([]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("core: reading stream row %d: %w", stats.Rows, err)
+		}
+		if len(rec) != len(header) {
+			return stats, fmt.Errorf("core: row %d has %d fields, want %d", stats.Rows, len(rec), len(header))
+		}
+		for i, v := range rec {
+			if v == "" {
+				row[colOf[i]] = dataset.Missing
+			} else {
+				row[colOf[i]] = schema.Intern(colOf[i], v)
+			}
+		}
+		before := append([]int32(nil), row...)
+		vs, err := g.CheckRow(row)
+		if err != nil {
+			return stats, fmt.Errorf("core: row %d: %w", stats.Rows, err)
+		}
+		if len(vs) > 0 {
+			stats.Flagged++
+		}
+		for i := range rec {
+			c := row[colOf[i]]
+			if c != before[colOf[i]] {
+				stats.Changed++
+			}
+			out[i] = schema.Dict(colOf[i]).Value(c)
+			if c == dataset.Missing {
+				out[i] = ""
+			}
+		}
+		if err := cw.Write(out); err != nil {
+			return stats, err
+		}
+		stats.Rows++
+	}
+	cw.Flush()
+	return stats, cw.Error()
+}
+
+// ExplainViolation renders a violation in terms of schema's names, for
+// logs and error messages.
+func ExplainViolation(v dsl.Violation, schema *dataset.Relation) string {
+	return fmt.Sprintf("statement %d: %s should be %q (found %q)",
+		v.Stmt, schema.Attr(v.Attr),
+		schema.Dict(v.Attr).Value(v.Expected), schema.Dict(v.Attr).Value(v.Actual))
+}

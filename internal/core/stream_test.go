@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStreamCSVRectifies(t *testing.T) {
+	f := setup(t)
+	var in bytes.Buffer
+	if err := f.dirty.ToCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	g := NewGuard(f.prog, Rectify)
+	stats, err := g.StreamCSV(&in, &out, f.dirty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != f.dirty.NumRows() {
+		t.Fatalf("rows = %d, want %d", stats.Rows, f.dirty.NumRows())
+	}
+	if stats.Flagged == 0 || stats.Changed == 0 {
+		t.Fatalf("stream repaired nothing: %+v", stats)
+	}
+	// The output must re-parse and be violation-free. Parse against the
+	// same dictionaries by streaming it once more in ignore mode.
+	var second bytes.Buffer
+	stats2, err := NewGuard(f.prog, Ignore).StreamCSV(strings.NewReader(out.String()), &second, f.dirty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Flagged != 0 {
+		t.Fatalf("%d rows still violate after streaming rectify", stats2.Flagged)
+	}
+}
+
+func TestStreamCSVIgnoreKeepsData(t *testing.T) {
+	f := setup(t)
+	var in bytes.Buffer
+	if err := f.dirty.ToCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	original := in.String()
+	var out bytes.Buffer
+	stats, err := NewGuard(f.prog, Ignore).StreamCSV(strings.NewReader(original), &out, f.dirty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed != 0 {
+		t.Fatalf("ignore changed %d cells", stats.Changed)
+	}
+	if out.String() != original {
+		t.Fatal("ignore altered the stream")
+	}
+}
+
+func TestStreamCSVRaiseAborts(t *testing.T) {
+	f := setup(t)
+	var in bytes.Buffer
+	if err := f.dirty.ToCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, err := NewGuard(f.prog, Raise).StreamCSV(&in, &out, f.dirty.Clone())
+	if err == nil {
+		t.Fatal("raise did not abort the stream")
+	}
+}
+
+func TestStreamCSVErrors(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Ignore)
+	var out bytes.Buffer
+	if _, err := g.StreamCSV(strings.NewReader(""), &out, f.dirty); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := g.StreamCSV(strings.NewReader("a,b\n1,2\n"), &out, f.dirty); err == nil {
+		t.Fatal("wrong header accepted")
+	}
+}
+
+func TestExplainViolation(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Ignore)
+	rep, err := g.Apply(f.dirty.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fl := range rep.Flagged {
+		if !fl {
+			continue
+		}
+		row := f.dirty.Row(i, nil)
+		vs := f.prog.Detect(row)
+		if len(vs) == 0 {
+			t.Fatal("flagged row has no violations")
+		}
+		msg := ExplainViolation(vs[0], f.dirty)
+		if !strings.Contains(msg, "should be") {
+			t.Fatalf("explanation malformed: %q", msg)
+		}
+		return
+	}
+	t.Fatal("no flagged rows")
+}

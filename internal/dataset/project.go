@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Project returns a new relation containing only the named attributes, in
+// the given order, with deep-copied columns and dictionaries.
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("dataset: project: unknown attribute %q", a)
+		}
+		idx[i] = j
+	}
+	out := New(r.name, attrs)
+	for i, j := range idx {
+		out.dicts[i] = r.dicts[j].clone()
+		out.cols[i] = append([]int32(nil), r.cols[j]...)
+	}
+	out.nrows = r.nrows
+	return out, nil
+}
+
+// Rename returns a copy of the relation with attribute old renamed to new.
+func (r *Relation) Rename(old, new string) (*Relation, error) {
+	i := r.AttrIndex(old)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: rename: unknown attribute %q", old)
+	}
+	if r.AttrIndex(new) >= 0 {
+		return nil, fmt.Errorf("dataset: rename: attribute %q already exists", new)
+	}
+	out := r.Clone()
+	out.attrs[i] = new
+	delete(out.index, old)
+	out.index[new] = i
+	return out, nil
+}
+
+// ValueCounts returns attribute attr's distinct values with their
+// frequencies, most frequent first (ties by value string).
+func (r *Relation) ValueCounts(attr int) []ValueCount {
+	counts := map[int32]int{}
+	for _, c := range r.cols[attr] {
+		counts[c]++
+	}
+	out := make([]ValueCount, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, ValueCount{Value: r.dicts[attr].Value(c), Code: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ValueCount is one entry of ValueCounts.
+type ValueCount struct {
+	Value string
+	Code  int32
+	Count int
+}
+
+// Filter returns the rows of r for which keep returns true, as a new
+// relation.
+func (r *Relation) Filter(keep func(row int) bool) *Relation {
+	var rows []int
+	for i := 0; i < r.nrows; i++ {
+		if keep(i) {
+			rows = append(rows, i)
+		}
+	}
+	return r.SelectRows(rows)
+}

@@ -1,0 +1,80 @@
+package dataset
+
+import "testing"
+
+func TestProject(t *testing.T) {
+	r := sample()
+	p, err := r.Project([]string{"State", "PostalCode"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAttrs() != 2 || p.NumRows() != r.NumRows() {
+		t.Fatalf("shape %d x %d", p.NumRows(), p.NumAttrs())
+	}
+	if p.Attr(0) != "State" || p.Value(0, 0) != "CA" {
+		t.Fatalf("projection wrong: %q %q", p.Attr(0), p.Value(0, 0))
+	}
+	// Deep copy: mutating the projection must not touch the source.
+	p.SetCode(0, 0, p.Intern(0, "XX"))
+	if r.Value(0, 2) != "CA" {
+		t.Fatal("projection shares storage with source")
+	}
+	if _, err := r.Project([]string{"Nope"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := sample()
+	nr, err := r.Rename("City", "Town")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.AttrIndex("Town") != 1 || nr.AttrIndex("City") != -1 {
+		t.Fatalf("rename failed: %v", nr.Attrs())
+	}
+	if r.AttrIndex("City") != 1 {
+		t.Fatal("rename mutated source")
+	}
+	if _, err := r.Rename("Nope", "X"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := r.Rename("City", "State"); err == nil {
+		t.Fatal("collision accepted")
+	}
+}
+
+func TestValueCounts(t *testing.T) {
+	r := sample()
+	vc := r.ValueCounts(r.AttrIndex("City"))
+	if len(vc) != 3 {
+		t.Fatalf("counts = %v", vc)
+	}
+	if vc[0].Value != "Berkeley" || vc[0].Count != 2 {
+		t.Fatalf("top value = %+v", vc[0])
+	}
+	total := 0
+	for _, v := range vc {
+		total += v.Count
+	}
+	if total != r.NumRows() {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := sample()
+	ca := r.Filter(func(i int) bool { return r.Value(i, 2) == "CA" })
+	if ca.NumRows() != 2 {
+		t.Fatalf("filtered rows = %d", ca.NumRows())
+	}
+	for i := 0; i < ca.NumRows(); i++ {
+		if ca.Value(i, 2) != "CA" {
+			t.Fatalf("wrong row kept: %v", ca.RowStrings(i))
+		}
+	}
+	none := r.Filter(func(int) bool { return false })
+	if none.NumRows() != 0 {
+		t.Fatal("empty filter kept rows")
+	}
+}

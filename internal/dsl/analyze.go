@@ -1,0 +1,173 @@
+package dsl
+
+import (
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// ProgramStats summarizes a program's shape for reporting and tooling.
+type ProgramStats struct {
+	Statements int
+	Branches   int
+	// GovernedAttrs are the dependent (ON) attributes, ascending.
+	GovernedAttrs []int
+	// DeterminantAttrs are all attributes used in GIVEN clauses, ascending.
+	DeterminantAttrs []int
+	// MaxGiven is the widest determinant set.
+	MaxGiven int
+	// MaxCondWidth is the widest branch condition.
+	MaxCondWidth int
+}
+
+// Analyze computes ProgramStats.
+func Analyze(p *Program) ProgramStats {
+	st := ProgramStats{Statements: len(p.Stmts)}
+	governed := map[int]bool{}
+	determinants := map[int]bool{}
+	for _, s := range p.Stmts {
+		st.Branches += len(s.Branches)
+		governed[s.On] = true
+		if len(s.Given) > st.MaxGiven {
+			st.MaxGiven = len(s.Given)
+		}
+		for _, g := range s.Given {
+			determinants[g] = true
+		}
+		for _, b := range s.Branches {
+			if len(b.Cond) > st.MaxCondWidth {
+				st.MaxCondWidth = len(b.Cond)
+			}
+		}
+	}
+	st.GovernedAttrs = sortedKeys(governed)
+	st.DeterminantAttrs = sortedKeys(determinants)
+	return st
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Simplify returns a semantically equivalent program with redundancy
+// removed:
+//
+//   - duplicate branches (same condition and value) within a statement
+//     collapse to one;
+//   - branches whose condition duplicates an earlier branch's condition
+//     are unreachable (the first match wins) and are dropped;
+//   - statements with identical (GIVEN, ON) clauses merge;
+//   - statements left with no branches are dropped.
+//
+// Equivalence holds because Eval/Detect/Rectify all use first-match branch
+// semantics within a statement and apply statements independently.
+func Simplify(p *Program) *Program {
+	merged := map[string]*Statement{}
+	var order []string
+	for _, s := range p.Stmts {
+		key := stmtKey(s)
+		if existing, ok := merged[key]; ok {
+			existing.Branches = append(existing.Branches, s.Branches...)
+			continue
+		}
+		cp := Statement{
+			Given:    append([]int(nil), s.Given...),
+			On:       s.On,
+			Branches: append([]Branch(nil), s.Branches...),
+		}
+		merged[key] = &cp
+		order = append(order, key)
+	}
+	out := &Program{}
+	for _, key := range order {
+		s := merged[key]
+		seenCond := map[string]bool{}
+		var kept []Branch
+		for _, b := range s.Branches {
+			ck := condKey(b.Cond)
+			if seenCond[ck] {
+				continue // unreachable: an earlier branch owns this condition
+			}
+			seenCond[ck] = true
+			kept = append(kept, b)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		out.Stmts = append(out.Stmts, Statement{Given: s.Given, On: s.On, Branches: kept})
+	}
+	return out
+}
+
+func stmtKey(s Statement) string {
+	g := append([]int(nil), s.Given...)
+	sort.Ints(g)
+	key := make([]byte, 0, 4*(len(g)+1))
+	for _, a := range g {
+		key = appendInt(key, a)
+		key = append(key, ',')
+	}
+	key = append(key, '>')
+	return string(appendInt(key, s.On))
+}
+
+func condKey(c Condition) string {
+	sorted := append(Condition(nil), c...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Attr < sorted[j].Attr })
+	key := make([]byte, 0, 8*len(sorted))
+	for _, p := range sorted {
+		key = appendInt(key, p.Attr)
+		key = append(key, '=')
+		key = appendInt(key, int(p.Value))
+		key = append(key, ';')
+	}
+	return string(key)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var digits [12]byte
+	i := len(digits)
+	for {
+		i--
+		digits[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, digits[i:]...)
+}
+
+// Equivalent reports whether two programs behave identically on every row
+// of rel: the same violation verdict per row (duplicate statements fire
+// duplicate violations, so counts are not compared) and the same rectified
+// output.
+func Equivalent(a, b *Program, rel *dataset.Relation) bool {
+	rowA := make([]int32, rel.NumAttrs())
+	rowB := make([]int32, rel.NumAttrs())
+	for i := 0; i < rel.NumRows(); i++ {
+		rowA = rel.Row(i, rowA)
+		rowB = rel.Row(i, rowB)
+		va, vb := a.Detect(rowA), b.Detect(rowB)
+		if (len(va) > 0) != (len(vb) > 0) {
+			return false
+		}
+		a.Rectify(rowA)
+		b.Rectify(rowB)
+		for c := range rowA {
+			if rowA[c] != rowB[c] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+package dsl
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// zipRel builds the running PostalCode/City/State example with one
+// corrupted row ("gibbon").
+func zipRel(t *testing.T) *dataset.Relation {
+	t.Helper()
+	r := dataset.New("zip", []string{"PostalCode", "City", "State"})
+	rows := [][]string{
+		{"94704", "Berkeley", "CA"},
+		{"94704", "Berkeley", "CA"},
+		{"94704", "gibbon", "CA"}, // corrupted City
+		{"10001", "NewYork", "NY"},
+		{"10001", "NewYork", "NY"},
+		{"60601", "Chicago", "IL"},
+	}
+	for _, row := range rows {
+		if err := r.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// zipProgram builds GIVEN PostalCode ON City with one branch per code.
+func zipProgram(t *testing.T, rel *dataset.Relation) *Program {
+	t.Helper()
+	pc, city := rel.AttrIndex("PostalCode"), rel.AttrIndex("City")
+	mk := func(code, val string) Branch {
+		c, ok := rel.Dict(pc).Lookup(code)
+		if !ok {
+			t.Fatalf("code %s missing", code)
+		}
+		v, ok := rel.Dict(city).Lookup(val)
+		if !ok {
+			t.Fatalf("city %s missing", val)
+		}
+		return Branch{Cond: Condition{{Attr: pc, Value: c}}, Value: v}
+	}
+	return &Program{Stmts: []Statement{{
+		Given:    []int{pc},
+		On:       city,
+		Branches: []Branch{mk("94704", "Berkeley"), mk("10001", "NewYork"), mk("60601", "Chicago")},
+	}}}
+}
+
+func TestEvalAssignsDependent(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	row := rel.Row(2, nil) // the gibbon row
+	out := p.Eval(row)
+	city := rel.AttrIndex("City")
+	if rel.Dict(city).Value(out[city]) != "Berkeley" {
+		t.Fatalf("Eval assigned %q", rel.Dict(city).Value(out[city]))
+	}
+	// Input must be untouched.
+	if rel.Dict(city).Value(row[city]) != "gibbon" {
+		t.Fatal("Eval mutated its input")
+	}
+}
+
+func TestDetectFindsOnlyCorruptedRow(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	for i := 0; i < rel.NumRows(); i++ {
+		v := p.Detect(rel.Row(i, nil))
+		if i == 2 && len(v) != 1 {
+			t.Fatalf("row 2 should have 1 violation, got %v", v)
+		}
+		if i != 2 && len(v) != 0 {
+			t.Fatalf("row %d should be clean, got %v", i, v)
+		}
+	}
+	v := p.Detect(rel.Row(2, nil))[0]
+	if v.Attr != rel.AttrIndex("City") {
+		t.Fatalf("violation attr = %d", v.Attr)
+	}
+	if rel.Dict(v.Attr).Value(v.Expected) != "Berkeley" {
+		t.Fatalf("expected value = %q", rel.Dict(v.Attr).Value(v.Expected))
+	}
+}
+
+func TestRectify(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	row := rel.Row(2, nil)
+	n := p.Rectify(row)
+	if n != 1 {
+		t.Fatalf("Rectify changed %d cells, want 1", n)
+	}
+	city := rel.AttrIndex("City")
+	if rel.Dict(city).Value(row[city]) != "Berkeley" {
+		t.Fatal("Rectify did not fix the city")
+	}
+	if p.Rectify(row) != 0 {
+		t.Fatal("second Rectify should be a no-op")
+	}
+}
+
+func TestBranchLossAndSupport(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	s := p.Stmts[0]
+	// Branch 0 (94704 -> Berkeley): 3 matching rows, 1 wrong.
+	loss, support := BranchLoss(s.Branches[0], s.On, rel)
+	if support != 3 || loss != 1 {
+		t.Fatalf("loss=%d support=%d, want 1/3", loss, support)
+	}
+	if got := BranchSupport(s.Branches[0], rel); got != 3 {
+		t.Fatalf("BranchSupport = %d", got)
+	}
+}
+
+func TestEpsValidity(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	if EpsValid(p, rel, 0.1) {
+		t.Fatal("program should not be 0.1-valid (1/3 loss on branch 0)")
+	}
+	if !EpsValid(p, rel, 0.5) {
+		t.Fatal("program should be 0.5-valid")
+	}
+	if !EpsValidStatement(p.Stmts[0], rel, 0.34) {
+		t.Fatal("statement should be 0.34-valid")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	// All 6 rows match some branch: coverage 1.
+	if got := Coverage(p, rel); got != 1 {
+		t.Fatalf("coverage = %g, want 1", got)
+	}
+	if got := StatementCoverage(p.Stmts[0], rel); got != 1 {
+		t.Fatalf("stmt coverage = %g", got)
+	}
+	// Empty program covers nothing.
+	if got := Coverage(&Program{}, rel); got != 0 {
+		t.Fatalf("empty coverage = %g", got)
+	}
+	// Drop one branch: coverage 5/6.
+	p2 := &Program{Stmts: []Statement{{
+		Given:    p.Stmts[0].Given,
+		On:       p.Stmts[0].On,
+		Branches: p.Stmts[0].Branches[:2],
+	}}}
+	if got := Coverage(p2, rel); got < 0.83 || got > 0.84 {
+		t.Fatalf("partial coverage = %g, want 5/6", got)
+	}
+}
+
+func TestLossTotal(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	if got := Loss(p, rel); got != 1 {
+		t.Fatalf("Loss = %d, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	if err := p.Validate(rel); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Program{Stmts: []Statement{{Given: []int{0}, On: 99, Branches: []Branch{{Value: 0}}}}}
+	if err := bad.Validate(rel); err == nil {
+		t.Fatal("out-of-range ON accepted")
+	}
+	bad2 := &Program{Stmts: []Statement{{Given: nil, On: 1, Branches: []Branch{{Value: 0}}}}}
+	if err := bad2.Validate(rel); err == nil {
+		t.Fatal("empty GIVEN accepted")
+	}
+	bad3 := &Program{Stmts: []Statement{{Given: []int{1}, On: 1, Branches: []Branch{{Value: 0}}}}}
+	if err := bad3.Validate(rel); err == nil {
+		t.Fatal("ON in GIVEN accepted")
+	}
+	bad4 := &Program{Stmts: []Statement{{Given: []int{0}, On: 1, Branches: nil}}}
+	if err := bad4.Validate(rel); err == nil {
+		t.Fatal("empty HAVING accepted")
+	}
+	bad5 := &Program{Stmts: []Statement{{Given: []int{0}, On: 1, Branches: []Branch{{Value: 999}}}}}
+	if err := bad5.Validate(rel); err == nil {
+		t.Fatal("out-of-dictionary literal accepted")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	rel := zipRel(t)
+	p := zipProgram(t, rel)
+	text := Format(p, rel)
+	p2, err := Parse(text, rel)
+	if err != nil {
+		t.Fatalf("parse error: %v\n%s", err, text)
+	}
+	if Format(p2, rel) != text {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", text, Format(p2, rel))
+	}
+	// Behaviourally identical on every row.
+	for i := 0; i < rel.NumRows(); i++ {
+		if len(p.Detect(rel.Row(i, nil))) != len(p2.Detect(rel.Row(i, nil))) {
+			t.Fatalf("round-tripped program behaves differently on row %d", i)
+		}
+	}
+}
+
+func TestParseMultiStatementAndConjunction(t *testing.T) {
+	rel := zipRel(t)
+	src := `
+GIVEN PostalCode ON City HAVING
+  IF PostalCode = "94704" THEN City <- "Berkeley";
+GIVEN City, State ON PostalCode HAVING
+  IF City = "Berkeley" AND State = "CA" THEN PostalCode <- "94704";
+`
+	p, err := Parse(src, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 2 {
+		t.Fatalf("parsed %d statements", len(p.Stmts))
+	}
+	if len(p.Stmts[1].Given) != 2 || len(p.Stmts[1].Branches[0].Cond) != 2 {
+		t.Fatalf("conjunction not parsed: %+v", p.Stmts[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	rel := zipRel(t)
+	cases := []string{
+		`GIVEN Nope ON City HAVING IF Nope = "x" THEN City <- "y";`,
+		`GIVEN PostalCode ON City HAVING`,
+		`IF PostalCode = "94704" THEN City <- "Berkeley";`,
+		`GIVEN PostalCode ON City HAVING IF PostalCode = "1" THEN State <- "CA";`,
+		`GIVEN PostalCode ON City HAVING IF PostalCode "1" THEN City <- "x";`,
+		`GIVEN PostalCode ON City HAVING IF PostalCode = "unterminated`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, rel); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseInternsNewLiterals(t *testing.T) {
+	rel := zipRel(t)
+	before := rel.Cardinality(rel.AttrIndex("City"))
+	if _, err := Parse(`GIVEN PostalCode ON City HAVING IF PostalCode = "94704" THEN City <- "Oakland";`, rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality(rel.AttrIndex("City")) != before+1 {
+		t.Fatal("new literal not interned")
+	}
+}

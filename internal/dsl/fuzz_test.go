@@ -1,0 +1,47 @@
+package dsl
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// FuzzParse feeds arbitrary text to the DSL parser: it must never panic,
+// and any program it accepts must validate and round-trip through Format.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`GIVEN PostalCode ON City HAVING IF PostalCode = "94704" THEN City <- "Berkeley";`,
+		`GIVEN a, b ON c HAVING IF a = "1" AND b = "2" THEN c <- "3";`,
+		`GIVEN`,
+		`GIVEN x ON y HAVING`,
+		`IF a = b THEN`,
+		"GIVEN PostalCode ON City HAVING\n  IF PostalCode = \"1\" THEN City <- \"x\";\nGIVEN City ON State HAVING\n  IF City = \"x\" THEN State <- \"y\";",
+		`GIVEN a ON b HAVING IF a = "unterminated`,
+		`GIVEN a ON b HAVING IF a <- "wrong" THEN b = "arrow";`,
+		"\x00\x01\x02",
+		`GIVEN a ON b HAVING IF a = "v" THEN b <- "w"; trailing garbage`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rel := dataset.New("t", []string{"PostalCode", "City", "State", "a", "b", "c", "x", "y"})
+		rel.AppendRow([]string{"94704", "Berkeley", "CA", "1", "2", "3", "4", "5"})
+		p, err := Parse(src, rel)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(rel); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource: %q", err, src)
+		}
+		// Accepted programs must round-trip.
+		text := Format(p, rel)
+		p2, err := Parse(text, rel)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\n%s", err, text)
+		}
+		if Format(p2, rel) != text {
+			t.Fatalf("format not a fixpoint:\n%s\nvs\n%s", text, Format(p2, rel))
+		}
+	})
+}

@@ -1,0 +1,140 @@
+// Package errgen injects synthetic cell-level errors into relations,
+// following the evaluation protocol of the Guardrail paper (§8): errors are
+// introduced at a fixed rate (default 1% of rows, slightly higher — capped —
+// for small datasets), each error corrupting one randomly chosen cell with
+// either a different in-domain value or a fresh random string.
+package errgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// Options controls error injection.
+type Options struct {
+	// Rate is the fraction of rows to corrupt (default 0.01).
+	Rate float64
+	// MinErrors raises the error count on small datasets (default 30,
+	// mirroring the paper's "capped at 30 errors" protocol).
+	MinErrors int
+	// RandomStringProb is the probability a corrupted cell receives a fresh
+	// out-of-domain random string (like "gibbon" in the paper's example)
+	// instead of a different in-domain value (default 0.3).
+	RandomStringProb float64
+	// Columns restricts corruption to these attribute indices; nil means all.
+	Columns []int
+	// Seed drives the generator; runs are deterministic per seed.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Rate == 0 {
+		o.Rate = 0.01
+	}
+	if o.MinErrors == 0 {
+		o.MinErrors = 30
+	}
+	if o.RandomStringProb == 0 {
+		o.RandomStringProb = 0.3
+	}
+}
+
+// Mask records which cells were corrupted. RowDirty[i] is true if any cell
+// of row i was corrupted; Cells holds (row, col) pairs.
+type Mask struct {
+	RowDirty []bool
+	Cells    []Cell
+}
+
+// Cell identifies one corrupted cell and remembers the clean code.
+type Cell struct {
+	Row, Col int
+	Clean    int32
+	Dirty    int32
+}
+
+// NumErrors reports the number of corrupted rows.
+func (m *Mask) NumErrors() int {
+	n := 0
+	for _, d := range m.RowDirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Inject corrupts rel in place and returns the gold mask. The number of
+// corrupted rows is max(Rate*NumRows, min(MinErrors, NumRows/2)): the floor
+// keeps the signal measurable on small relations, matching the paper's
+// protocol of using a slightly higher rate capped at a small absolute count.
+func Inject(rel *dataset.Relation, opts Options) (*Mask, error) {
+	opts.defaults()
+	n := rel.NumRows()
+	if n == 0 {
+		return &Mask{RowDirty: nil}, nil
+	}
+	cols := opts.Columns
+	if cols == nil {
+		for c := 0; c < rel.NumAttrs(); c++ {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("errgen: no columns to corrupt")
+	}
+	target := int(float64(n) * opts.Rate)
+	floor := opts.MinErrors
+	if floor > n/2 {
+		floor = n / 2
+	}
+	if target < floor {
+		target = floor
+	}
+	if target > n {
+		target = n
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(n)
+	mask := &Mask{RowDirty: make([]bool, n)}
+	for _, row := range perm[:target] {
+		col := cols[rng.Intn(len(cols))]
+		clean := rel.Code(row, col)
+		dirty := corrupt(rel, col, clean, rng, opts.RandomStringProb)
+		if dirty == clean {
+			continue // single-valued column with no random string drawn
+		}
+		rel.SetCode(row, col, dirty)
+		mask.RowDirty[row] = true
+		mask.Cells = append(mask.Cells, Cell{Row: row, Col: col, Clean: clean, Dirty: dirty})
+	}
+	return mask, nil
+}
+
+// corrupt picks a replacement code for (col, clean): either a fresh random
+// string interned into the column's dictionary, or a different existing code.
+func corrupt(rel *dataset.Relation, col int, clean int32, rng *rand.Rand, pStr float64) int32 {
+	card := rel.Cardinality(col)
+	if rng.Float64() < pStr || card < 2 {
+		return rel.Intern(col, randomString(rng))
+	}
+	for tries := 0; tries < 16; tries++ {
+		c := int32(rng.Intn(card))
+		if c != clean {
+			return c
+		}
+	}
+	return rel.Intern(col, randomString(rng))
+}
+
+func randomString(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 6)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return "err_" + string(b)
+}

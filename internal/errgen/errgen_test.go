@@ -1,0 +1,133 @@
+package errgen
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+func makeRel(n int) *dataset.Relation {
+	r := dataset.New("t", []string{"a", "b", "c"})
+	for i := 0; i < n; i++ {
+		r.AppendRow([]string{
+			fmt.Sprintf("a%d", i%5),
+			fmt.Sprintf("b%d", i%3),
+			fmt.Sprintf("c%d", i%7),
+		})
+	}
+	return r
+}
+
+func TestInjectCountsAndMask(t *testing.T) {
+	r := makeRel(1000)
+	clean := r.Clone()
+	mask, err := Inject(r, Options{Rate: 0.05, MinErrors: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50
+	if got := mask.NumErrors(); got > want || got < want-5 {
+		t.Fatalf("NumErrors = %d, want ~%d", got, want)
+	}
+	// Every masked cell must differ from the clean relation; every unmasked
+	// row must be identical.
+	dirtyRows := map[int]bool{}
+	for _, c := range mask.Cells {
+		if r.Code(c.Row, c.Col) == clean.Code(c.Row, c.Col) {
+			t.Fatalf("cell (%d,%d) flagged dirty but unchanged", c.Row, c.Col)
+		}
+		if c.Clean != clean.Code(c.Row, c.Col) {
+			t.Fatalf("cell (%d,%d) clean code mismatch", c.Row, c.Col)
+		}
+		dirtyRows[c.Row] = true
+	}
+	for i := 0; i < r.NumRows(); i++ {
+		if dirtyRows[i] {
+			continue
+		}
+		for j := 0; j < r.NumAttrs(); j++ {
+			if r.Code(i, j) != clean.Code(i, j) {
+				t.Fatalf("unflagged row %d changed at col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestInjectSmallDatasetFloor(t *testing.T) {
+	r := makeRel(100)
+	mask, err := Inject(r, Options{Rate: 0.01, MinErrors: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% of 100 is 1, but the floor is min(30, n/2) = 30.
+	if got := mask.NumErrors(); got < 25 {
+		t.Fatalf("NumErrors = %d, want >= 25 (floored)", got)
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	a, b := makeRel(200), makeRel(200)
+	ma, _ := Inject(a, Options{Seed: 42})
+	mb, _ := Inject(b, Options{Seed: 42})
+	if len(ma.Cells) != len(mb.Cells) {
+		t.Fatalf("different cell counts: %d vs %d", len(ma.Cells), len(mb.Cells))
+	}
+	for i := range ma.Cells {
+		if ma.Cells[i] != mb.Cells[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, ma.Cells[i], mb.Cells[i])
+		}
+	}
+}
+
+func TestInjectColumnRestriction(t *testing.T) {
+	r := makeRel(500)
+	mask, err := Inject(r, Options{Columns: []int{2}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range mask.Cells {
+		if c.Col != 2 {
+			t.Fatalf("corrupted column %d, restricted to 2", c.Col)
+		}
+	}
+	if len(mask.Cells) == 0 {
+		t.Fatal("no cells corrupted")
+	}
+}
+
+func TestInjectEmptyRelation(t *testing.T) {
+	r := dataset.New("t", []string{"a"})
+	mask, err := Inject(r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.NumErrors() != 0 {
+		t.Fatal("errors injected into empty relation")
+	}
+}
+
+// Property: injection never corrupts more rows than the relation has, and
+// the mask is internally consistent for any rate and seed.
+func TestInjectProperty(t *testing.T) {
+	f := func(seed int64, rateRaw uint8) bool {
+		r := makeRel(120)
+		mask, err := Inject(r, Options{Rate: float64(rateRaw) / 255, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if mask.NumErrors() > r.NumRows() {
+			return false
+		}
+		for _, c := range mask.Cells {
+			if !mask.RowDirty[c.Row] || c.Clean == c.Dirty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastCfg restricts integration tests to the two smallest schemas at a
+// small scale so the full evaluation pipeline still runs in seconds.
+func fastCfg() Config {
+	return Config{Scale: 0.05, Seed: 1, Datasets: []int{2, 6}}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Errors <= 0 {
+			t.Fatalf("dataset %d: no errors injected", r.ID)
+		}
+		if r.Mispred < 0 || r.Mispred > r.Errors*2 {
+			t.Fatalf("dataset %d: implausible mispred count %d for %d errors", r.ID, r.Mispred, r.Errors)
+		}
+	}
+	if !strings.Contains(res.Render(), "Spearman") {
+		t.Fatal("render missing correlation line")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	res, err := Table3(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Comparisons != 4 {
+		t.Fatalf("rows=%d comparisons=%d", len(res.Rows), res.Comparisons)
+	}
+	// Guardrail must produce a usable (non-failed) detector on these
+	// datasets and win at least one comparison.
+	for _, r := range res.Rows {
+		if r.Guardrail.Failed {
+			t.Fatalf("dataset %d: guardrail failed: %s", r.ID, r.Guardrail.Reason)
+		}
+		if !r.Guardrail.Failed && !math.IsNaN(r.Guardrail.F1) && (r.Guardrail.F1 < 0 || r.Guardrail.F1 > 1) {
+			t.Fatalf("dataset %d: F1 out of range: %g", r.ID, r.Guardrail.F1)
+		}
+	}
+	if !strings.Contains(res.Render(), "Guardrail") {
+		t.Fatal("render broken")
+	}
+}
+
+// TestTable3GuardrailWins checks the headline shape on datasets large
+// enough for the statistical synthesis to find structure: Guardrail must
+// win comparisons there (at full scale it ranks first in the majority of
+// the 24 comparisons; see EXPERIMENTS.md).
+func TestTable3GuardrailWins(t *testing.T) {
+	res, err := Table3(Config{Scale: 0.05, Seed: 1, Datasets: []int{1, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuardrailFirst == 0 {
+		t.Fatalf("guardrail won no comparisons on large datasets:\n%s", res.Render())
+	}
+}
+
+func TestTable4(t *testing.T) {
+	res, err := Table4(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Total <= 0 {
+			t.Fatalf("dataset %d: no time recorded", r.ID)
+		}
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	res, err := Table5(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.P < 0 || r.P > 1 {
+			t.Fatalf("dataset %d: P = %g", r.ID, r.P)
+		}
+		if r.HasMissed && (r.R < 0 || r.R > 1) {
+			t.Fatalf("dataset %d: R = %g", r.ID, r.R)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestTable6(t *testing.T) {
+	res, err := Table6(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.InferenceTime <= 0 {
+			t.Fatalf("dataset %d: no inference time", r.ID)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig6RectificationHelps(t *testing.T) {
+	res, err := Fig6(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 { // 2 datasets x 4 queries
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var dirtySum, rectSum float64
+	for _, pt := range res.Points {
+		dirtySum += pt.ErrDirty
+		rectSum += pt.ErrRect
+	}
+	if rectSum > dirtySum {
+		t.Fatalf("rectification increased total error: %g -> %g", dirtySum, rectSum)
+	}
+	if !strings.Contains(res.Render(), "Mean error reduction") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable7SearchSpaceReduction(t *testing.T) {
+	res, err := Table7(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.DAGsWithMEC < 1 {
+			t.Fatalf("dataset %d: empty MEC", r.ID)
+		}
+		if float64(r.DAGsWithMEC) > r.DAGsWithout {
+			t.Fatalf("dataset %d: MEC (%d) larger than orientation space (%g)",
+				r.ID, r.DAGsWithMEC, r.DAGsWithout)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestTable8AuxAtLeastIdentity(t *testing.T) {
+	res, err := Table8(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var auxSum, idSum float64
+	for _, r := range res.Rows {
+		auxSum += r.CovAux
+		idSum += r.CovIdentity
+	}
+	if auxSum+0.05 < idSum {
+		t.Fatalf("aux sampler coverage (%g) trails identity (%g)", auxSum, idSum)
+	}
+	_ = res.Render()
+}
+
+func TestFig7CoverageLossTradeoff(t *testing.T) {
+	res, err := Fig7(fastCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig7Epsilons) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// The paper's Fig. 7 shape: both coverage and loss grow with ε for
+	// most datasets (saturated datasets can plateau, hence the slack).
+	if last.Coverage < first.Coverage-0.05 {
+		t.Fatalf("coverage shrank across the sweep: %g -> %g", first.Coverage, last.Coverage)
+	}
+	if last.LossRate < first.LossRate-1e-9 {
+		t.Fatalf("loss rate shrank across the sweep: %g -> %g", first.LossRate, last.LossRate)
+	}
+	for _, pt := range res.Points {
+		if pt.Coverage < 0 || pt.Coverage > 1 || pt.LossRate < 0 {
+			t.Fatalf("point out of range: %+v", pt)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestSMTBaselineBlowUp(t *testing.T) {
+	res, err := SMTBaseline(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Clauses <= 0 {
+			t.Fatalf("dataset %d: no clauses", r.ID)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestAblationGNT(t *testing.T) {
+	res, err := AblationGNT(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.StmtsOn > r.StmtsOff {
+			t.Fatalf("dataset %d: GNT pruning grew the program (%d vs %d)", r.ID, r.StmtsOn, r.StmtsOff)
+		}
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

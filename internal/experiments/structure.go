@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/pc"
+	"github.com/guardrail-db/guardrail/internal/smt"
+)
+
+// Table7Row reports the search-space reduction for one dataset (Table 7).
+type Table7Row struct {
+	ID          int
+	Attrs       int
+	DAGsWithMEC int
+	EnumTime    time.Duration
+	Truncated   bool
+	DAGsWithout float64 // acyclic orientations of the skeleton
+	WithoutIsUB bool    // true when DAGsWithout is the 2^m upper bound
+}
+
+// Table7Result aggregates the table.
+type Table7Result struct{ Rows []Table7Row }
+
+// Table7 reproduces Table 7: the number of DAGs Alg. 2 enumerates inside
+// the learned MEC (with timing) against the acyclic-orientation count of
+// the same skeleton — the search space a structure-agnostic enumeration
+// would face.
+func Table7(cfg Config) (*Table7Result, error) {
+	cfg.defaults()
+	out := &Table7Result{}
+	for _, spec := range cfg.specs() {
+		p, err := prepare(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aux, err := auxdist.Sample(p.train, auxdist.Options{MaxSamples: 30000, Seed: cfg.Seed + int64(spec.ID)})
+		if err != nil {
+			return nil, err
+		}
+		learned, err := pc.Learn(aux, pc.Options{Alpha: 0.01, MaxCond: 2})
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{ID: spec.ID, Attrs: spec.Attrs}
+		t0 := time.Now()
+		count, err := graph.CountMEC(learned.CPDAG, 10000)
+		row.EnumTime = time.Since(t0)
+		if err == graph.ErrEnumLimit {
+			row.Truncated = true
+		} else if err != nil {
+			return nil, err
+		}
+		row.DAGsWithMEC = count
+		oc := graph.CountAcyclicOrientations(learned.CPDAG, 1<<22)
+		row.DAGsWithout = oc.Count
+		row.WithoutIsUB = !oc.Exact
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the result like the paper's Table 7.
+func (r *Table7Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		with := fmt.Sprintf("%d", row.DAGsWithMEC)
+		if row.Truncated {
+			with = ">=" + with
+		}
+		without := smt.ClausesHuman(row.DAGsWithout)
+		if row.WithoutIsUB {
+			without = "<=" + without
+		}
+		rows = append(rows, []string{fmt.Sprintf("#%d", row.ID), fmt.Sprintf("%d", row.Attrs),
+			with, fmt.Sprintf("%.3fs", row.EnumTime.Seconds()), without})
+	}
+	return renderTable([]string{"Dataset", "# Attr.", "# DAGs (w/ MEC)", "Time (w/ MEC)", "# DAGs (w/o MEC)"}, rows)
+}
+
+// Table8Row compares the auxiliary vs identity samplers (Table 8).
+type Table8Row struct {
+	ID          int
+	CovIdentity float64
+	CovAux      float64
+}
+
+// Table8Result aggregates the ablation.
+type Table8Result struct{ Rows []Table8Row }
+
+// Table8 reproduces Table 8: synthesized-constraint coverage with and
+// without the auxiliary-distribution sampler.
+func Table8(cfg Config) (*Table8Result, error) {
+	cfg.defaults()
+	out := &Table8Result{}
+	for _, spec := range cfg.specs() {
+		p, err := prepare(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts := synthOptions(cfg, cfg.Seed+int64(spec.ID))
+		aux, err := core.Synthesize(p.train, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.IdentitySampler = true
+		id, err := core.Synthesize(p.train, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table8Row{ID: spec.ID, CovAux: aux.Coverage, CovIdentity: id.Coverage})
+	}
+	return out, nil
+}
+
+// Render formats the result like the paper's Table 8.
+func (r *Table8Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("#%d", row.ID), f3(row.CovIdentity), f3(row.CovAux)})
+	}
+	return renderTable([]string{"Dataset", "w/o Auxiliary Sampler", "w/ Auxiliary Sampler"}, rows)
+}
+
+// Fig7Point is one ε setting's coverage/loss trade-off (Fig. 7).
+type Fig7Point struct {
+	Epsilon  float64
+	Coverage float64
+	LossRate float64 // violations per matched row
+}
+
+// Fig7Result holds one dataset's sweep.
+type Fig7Result struct {
+	DatasetID int
+	Points    []Fig7Point
+}
+
+// Fig7Epsilons is the sweep grid.
+var Fig7Epsilons = []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3}
+
+// Fig7 reproduces Fig. 7 for one dataset: coverage and loss both grow with
+// the tolerance ε.
+func Fig7(cfg Config, datasetID int) (*Fig7Result, error) {
+	cfg.defaults()
+	spec := cfg.specs()[0]
+	for _, s := range cfg.specs() {
+		if s.ID == datasetID {
+			spec = s
+		}
+	}
+	p, err := prepare(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{DatasetID: spec.ID}
+	for _, eps := range Fig7Epsilons {
+		opts := synthOptions(cfg, cfg.Seed+int64(spec.ID))
+		opts.Epsilon = eps
+		res, err := core.Synthesize(p.train, opts)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig7Point{Epsilon: eps, Coverage: res.Coverage}
+		matched := 0
+		for _, s := range res.Program.Stmts {
+			for _, b := range s.Branches {
+				matched += dsl.BranchSupport(b, p.train)
+			}
+		}
+		if matched > 0 {
+			pt.LossRate = float64(dsl.Loss(res.Program, p.train)) / float64(matched)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Render formats the sweep like the paper's Fig. 7.
+func (r *Fig7Result) Render() string {
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{fmt.Sprintf("%.3f", pt.Epsilon), f3(pt.Coverage), fmt.Sprintf("%.4f", pt.LossRate)})
+	}
+	return fmt.Sprintf("Dataset #%d\n", r.DatasetID) +
+		renderTable([]string{"epsilon", "coverage", "loss rate"}, rows)
+}
+
+// SMTRow reports the monolithic encoding size for one dataset (§8.3).
+type SMTRow struct {
+	ID      int
+	Attrs   int
+	Clauses float64
+	Vars    float64
+}
+
+// SMTSolve is one budgeted solve attempt.
+type SMTSolve struct {
+	Dataset  int
+	Attrs    int
+	Exceeded bool
+	Steps    int64
+}
+
+// SMTResult aggregates the encoding study plus budgeted solve outcomes on
+// the smallest schema (barely solvable) and a mid-size one (budget
+// exhausted) — the §8.3 scalability wall.
+type SMTResult struct {
+	Rows   []SMTRow
+	Solves []SMTSolve
+}
+
+// SMTBaseline reproduces the §8.3 finding: monolithic OptSMT-style
+// encodings reach tens of millions of clauses even on small datasets, and
+// the budgeted solver gives up.
+func SMTBaseline(cfg Config) (*SMTResult, error) {
+	cfg.defaults()
+	out := &SMTResult{}
+	smallest := -1
+	smallestAttrs := 1 << 30
+	for _, spec := range cfg.specs() {
+		p, err := prepare(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		enc := smt.Encode(p.train, 3)
+		out.Rows = append(out.Rows, SMTRow{ID: spec.ID, Attrs: spec.Attrs, Clauses: enc.NumClauses, Vars: enc.NumVars})
+		if spec.Attrs < smallestAttrs {
+			smallest, smallestAttrs = spec.ID, spec.Attrs
+		}
+	}
+	mid := -1
+	midAttrs := 0
+	for _, spec := range cfg.specs() {
+		if spec.Attrs > smallestAttrs && (mid < 0 || spec.Attrs < midAttrs) && spec.Attrs >= 7 {
+			mid, midAttrs = spec.ID, spec.Attrs
+		}
+	}
+	for _, id := range []int{smallest, mid} {
+		if id < 0 {
+			continue
+		}
+		spec, err := bn.SpecByID(id)
+		if err != nil {
+			return nil, err
+		}
+		p, err := prepare(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		solve := SMTSolve{Dataset: id, Attrs: spec.Attrs}
+		res, err := smt.Synthesize(p.train, smt.Options{MaxGiven: 3, Budget: 2_000_000})
+		if errors.Is(err, smt.ErrBudget) {
+			solve.Exceeded = true
+			solve.Steps = res.Steps
+		} else if err != nil {
+			return nil, err
+		} else {
+			solve.Steps = res.Steps
+		}
+		out.Solves = append(out.Solves, solve)
+	}
+	return out, nil
+}
+
+// Render formats the §8.3 study.
+func (r *SMTResult) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("#%d", row.ID), fmt.Sprintf("%d", row.Attrs),
+			smt.ClausesHuman(row.Vars), smt.ClausesHuman(row.Clauses)})
+	}
+	s := renderTable([]string{"Dataset", "# Attr.", "# Vars", "# Clauses"}, rows)
+	for _, sv := range r.Solves {
+		verdict := "solved within budget"
+		if sv.Exceeded {
+			verdict = "budget exhausted without a satisfying solution (timeout)"
+		}
+		s += fmt.Sprintf("Budgeted solve on dataset #%d (%d attrs): %s after %d steps\n", sv.Dataset, sv.Attrs, verdict, sv.Steps)
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package fd
+
+import (
+	"sort"
+)
+
+// This file implements classical FD inference (Armstrong's axioms), which
+// §3.1 of the paper contrasts with Guardrail's GNT criterion: for plain
+// FDs, redundancy is resolved with attribute-set closures and minimal
+// covers; the DSL's conditional statements need the statistical machinery
+// instead. The utilities here back the baselines and their tests.
+
+// Closure computes the attribute closure attrs⁺ under fds: the set of
+// attributes functionally determined by attrs.
+func Closure(attrs []int, fds []FD) []int {
+	closure := map[int]bool{}
+	for _, a := range attrs {
+		closure[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if closure[f.RHS] {
+				continue
+			}
+			all := true
+			for _, a := range f.LHS {
+				if !closure[a] {
+					all = false
+					break
+				}
+			}
+			if all {
+				closure[f.RHS] = true
+				changed = true
+			}
+		}
+	}
+	out := make([]int, 0, len(closure))
+	for a := range closure {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Implies reports whether fds entail the dependency lhs -> rhs
+// (equivalently, rhs ∈ lhs⁺).
+func Implies(fds []FD, lhs []int, rhs int) bool {
+	for _, a := range Closure(lhs, fds) {
+		if a == rhs {
+			return true
+		}
+	}
+	return false
+}
+
+// MinimalCover reduces fds to an equivalent set with no redundant
+// dependencies and no extraneous LHS attributes — the FD analogue of the
+// paper's global non-triviality (Example 3.1's Stmt₄…Stmt_k would all be
+// removed here).
+func MinimalCover(fds []FD) []FD {
+	// Copy and canonicalize.
+	work := make([]FD, len(fds))
+	for i, f := range fds {
+		lhs := append([]int(nil), f.LHS...)
+		sort.Ints(lhs)
+		work[i] = FD{LHS: lhs, RHS: f.RHS}
+	}
+	// Remove extraneous LHS attributes: a ∈ LHS is extraneous when
+	// (LHS \ {a}) -> RHS already follows from the full set.
+	for i := range work {
+		lhs := work[i].LHS
+		for k := 0; k < len(lhs); {
+			reduced := make([]int, 0, len(lhs)-1)
+			reduced = append(reduced, lhs[:k]...)
+			reduced = append(reduced, lhs[k+1:]...)
+			if len(reduced) > 0 && Implies(work, reduced, work[i].RHS) {
+				lhs = reduced
+				work[i].LHS = lhs
+				continue
+			}
+			k++
+		}
+	}
+	// Remove redundant dependencies: f is redundant when the others imply it.
+	var out []FD
+	for i := range work {
+		rest := make([]FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i].LHS, work[i].RHS) {
+			out = append(out, work[i])
+		}
+	}
+	sortFDs(out)
+	return out
+}
+
+// Equivalent reports whether two FD sets entail each other.
+func Equivalent(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f.LHS, f.RHS) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f.LHS, f.RHS) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransitiveEdges returns the FDs in fds that are implied by the others —
+// the analogue of the indirect dependencies (PostalCode -> State) that
+// Alg. 2's MEC-based selection avoids emitting.
+func TransitiveEdges(fds []FD) []FD {
+	var out []FD
+	for i, f := range fds {
+		rest := make([]FD, 0, len(fds)-1)
+		rest = append(rest, fds[:i]...)
+		rest = append(rest, fds[i+1:]...)
+		if Implies(rest, f.LHS, f.RHS) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

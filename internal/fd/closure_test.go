@@ -1,0 +1,132 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// chainFDs is the Example 3.1 chain: 0 -> 1 -> 2 -> 3.
+func chainFDs() []FD {
+	return []FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{1}, RHS: 2},
+		{LHS: []int{2}, RHS: 3},
+	}
+}
+
+func TestClosure(t *testing.T) {
+	fds := chainFDs()
+	got := Closure([]int{0}, fds)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("closure = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closure = %v, want %v", got, want)
+		}
+	}
+	if got := Closure([]int{2}, fds); len(got) != 2 {
+		t.Fatalf("closure(2) = %v", got)
+	}
+	if got := Closure(nil, fds); len(got) != 0 {
+		t.Fatalf("closure(∅) = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := chainFDs()
+	if !Implies(fds, []int{0}, 3) {
+		t.Fatal("transitivity not derived")
+	}
+	if Implies(fds, []int{3}, 0) {
+		t.Fatal("reverse direction wrongly implied")
+	}
+	// Augmentation: {0, 5} -> 2.
+	if !Implies(fds, []int{0, 5}, 2) {
+		t.Fatal("augmentation not derived")
+	}
+}
+
+func TestMinimalCoverRemovesTransitive(t *testing.T) {
+	// The saturated set of Example 3.1.
+	saturated := append(chainFDs(),
+		FD{LHS: []int{0}, RHS: 2},       // Stmt4: PostalCode -> State
+		FD{LHS: []int{0}, RHS: 3},       // Stmt5: PostalCode -> Country
+		FD{LHS: []int{0, 1, 2}, RHS: 3}, // Stmtk
+	)
+	cover := MinimalCover(saturated)
+	if len(cover) != 3 {
+		t.Fatalf("cover = %v, want the 3 chain FDs", cover)
+	}
+	if !Equivalent(cover, saturated) {
+		t.Fatal("cover not equivalent to the original set")
+	}
+}
+
+func TestMinimalCoverRemovesExtraneousLHS(t *testing.T) {
+	fds := []FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{0, 2}, RHS: 1}, // redundant and with extraneous 2
+		{LHS: []int{0, 1}, RHS: 3}, // 1 is extraneous given 0 -> 1
+	}
+	cover := MinimalCover(fds)
+	for _, f := range cover {
+		if len(f.LHS) != 1 || f.LHS[0] != 0 {
+			t.Fatalf("extraneous attribute kept: %v", cover)
+		}
+	}
+	if !Equivalent(cover, fds) {
+		t.Fatal("cover changed semantics")
+	}
+}
+
+func TestTransitiveEdges(t *testing.T) {
+	saturated := append(chainFDs(), FD{LHS: []int{0}, RHS: 2})
+	tr := TransitiveEdges(saturated)
+	if len(tr) != 1 || tr[0].RHS != 2 || tr[0].LHS[0] != 0 {
+		t.Fatalf("transitive edges = %v", tr)
+	}
+	if got := TransitiveEdges(chainFDs()); len(got) != 0 {
+		t.Fatalf("chain has no transitive edges, got %v", got)
+	}
+}
+
+func TestEquivalentDirections(t *testing.T) {
+	a := chainFDs()
+	b := append(chainFDs(), FD{LHS: []int{0}, RHS: 3}) // implied extra
+	if !Equivalent(a, b) {
+		t.Fatal("sets with implied extras should be equivalent")
+	}
+	c := []FD{{LHS: []int{0}, RHS: 1}}
+	if Equivalent(a, c) {
+		t.Fatal("weaker set reported equivalent")
+	}
+}
+
+// Property: a minimal cover is always equivalent to its input and never
+// larger.
+func TestMinimalCoverProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var fds []FD
+		for i := 0; i+2 < len(raw) && len(fds) < 8; i += 3 {
+			lhs := []int{int(raw[i]) % 5}
+			if raw[i+1]%2 == 0 {
+				extra := int(raw[i+1]) % 5
+				if extra != lhs[0] {
+					lhs = append(lhs, extra)
+				}
+			}
+			rhs := int(raw[i+2]) % 5
+			if rhs == lhs[0] {
+				continue
+			}
+			fds = append(fds, FD{LHS: lhs, RHS: rhs})
+		}
+		cover := MinimalCover(fds)
+		return len(cover) <= len(fds) && Equivalent(cover, fds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// CFD is a constant conditional functional dependency: within rows
+// matching Pattern (values over LHS attributes), RHS equals Value.
+type CFD struct {
+	LHS     []int
+	Pattern []int32
+	RHS     int
+	Value   int32
+}
+
+// Name renders the CFD with names and values from rel.
+func (c CFD) Name(rel *dataset.Relation) string {
+	s := ""
+	for i, a := range c.LHS {
+		if i > 0 {
+			s += " AND "
+		}
+		s += fmt.Sprintf("%s=%s", rel.Attr(a), rel.Dict(a).Value(c.Pattern[i]))
+	}
+	return fmt.Sprintf("[%s] -> %s=%s", s, rel.Attr(c.RHS), rel.Dict(c.RHS).Value(c.Value))
+}
+
+// CTANEOptions tunes the conditional-FD miner.
+type CTANEOptions struct {
+	// Epsilon is the per-pattern error tolerance (default 0.01).
+	Epsilon float64
+	// MinSupport is the minimum fraction of rows a pattern must cover
+	// (default 0.01).
+	MinSupport float64
+	// MaxLHS caps the pattern width (default 2).
+	MaxLHS int
+	// MaxPatterns bounds the tableau size; exceeding it aborts, mirroring
+	// the blow-ups CTANE hits on wide data (default 100000).
+	MaxPatterns int
+}
+
+func (o *CTANEOptions) defaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.01
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.01
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 2
+	}
+	if o.MaxPatterns == 0 {
+		o.MaxPatterns = 100000
+	}
+}
+
+// CTANE mines constant CFDs levelwise in the spirit of Fan et al. [9]:
+// patterns of width 1..MaxLHS whose matching rows are (1-ε)-pure in some
+// RHS attribute, with support above MinSupport. Patterns subsumed by an
+// already-found narrower pattern for the same RHS are pruned.
+func CTANE(rel *dataset.Relation, opts CTANEOptions) ([]CFD, error) {
+	opts.defaults()
+	n := rel.NumRows()
+	m := rel.NumAttrs()
+	if n == 0 || m < 2 {
+		return nil, nil
+	}
+	minRows := int(opts.MinSupport * float64(n))
+	if minRows < 2 {
+		minRows = 2
+	}
+
+	type pat struct {
+		lhs  []int
+		vals []int32
+		rows []int
+	}
+	// Level 1: single-attribute patterns with enough support.
+	var level []pat
+	for a := 0; a < m; a++ {
+		groups := map[int32][]int{}
+		col := rel.Column(a)
+		for r, v := range col {
+			if v != dataset.Missing {
+				groups[v] = append(groups[v], r)
+			}
+		}
+		keys := make([]int32, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, v := range keys {
+			if len(groups[v]) >= minRows {
+				level = append(level, pat{lhs: []int{a}, vals: []int32{v}, rows: groups[v]})
+			}
+		}
+	}
+
+	var found []CFD
+	emit := func(p pat) {
+		for rhs := 0; rhs < m; rhs++ {
+			if containsInt(p.lhs, rhs) || cfdSubsumed(found, p.lhs, p.vals, rhs) {
+				continue
+			}
+			counts := map[int32]int{}
+			col := rel.Column(rhs)
+			for _, r := range p.rows {
+				counts[col[r]]++
+			}
+			mode, modeC := int32(-1), -1
+			for v, c := range counts {
+				if c > modeC || (c == modeC && v < mode) {
+					mode, modeC = v, c
+				}
+			}
+			if mode == dataset.Missing {
+				continue
+			}
+			if float64(len(p.rows)-modeC) <= opts.Epsilon*float64(len(p.rows)) {
+				found = append(found, CFD{
+					LHS:     append([]int(nil), p.lhs...),
+					Pattern: append([]int32(nil), p.vals...),
+					RHS:     rhs,
+					Value:   mode,
+				})
+			}
+		}
+	}
+
+	for width := 1; width <= opts.MaxLHS; width++ {
+		if len(level) > opts.MaxPatterns {
+			return nil, fmt.Errorf("fd: CTANE tableau budget exceeded (%d patterns)", len(level))
+		}
+		for _, p := range level {
+			emit(p)
+		}
+		if width == opts.MaxLHS {
+			break
+		}
+		var next []pat
+		for _, p := range level {
+			last := p.lhs[len(p.lhs)-1]
+			for a := last + 1; a < m; a++ {
+				groups := map[int32][]int{}
+				col := rel.Column(a)
+				for _, r := range p.rows {
+					if v := col[r]; v != dataset.Missing {
+						groups[v] = append(groups[v], r)
+					}
+				}
+				keys := make([]int32, 0, len(groups))
+				for k := range groups {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, v := range keys {
+					if len(groups[v]) >= minRows {
+						next = append(next, pat{
+							lhs:  append(append([]int(nil), p.lhs...), a),
+							vals: append(append([]int32(nil), p.vals...), v),
+							rows: groups[v],
+						})
+					}
+				}
+			}
+		}
+		level = next
+	}
+	return found, nil
+}
+
+// cfdSubsumed reports whether a narrower pattern for the same RHS already
+// covers (lhs, vals).
+func cfdSubsumed(found []CFD, lhs []int, vals []int32, rhs int) bool {
+	val := map[int]int32{}
+	for i, a := range lhs {
+		val[a] = vals[i]
+	}
+	for _, c := range found {
+		if c.RHS != rhs {
+			continue
+		}
+		all := true
+		for i, a := range c.LHS {
+			if v, ok := val[a]; !ok || v != c.Pattern[i] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// CFDDetector flags rows violating a CFD tableau.
+type CFDDetector struct {
+	cfds []CFD
+}
+
+// NewCFDDetector wraps a tableau.
+func NewCFDDetector(cfds []CFD) *CFDDetector { return &CFDDetector{cfds: cfds} }
+
+// CFDs returns the tableau.
+func (d *CFDDetector) CFDs() []CFD { return d.cfds }
+
+// Flag returns a per-row violation mask over test.
+func (d *CFDDetector) Flag(test *dataset.Relation) []bool {
+	out := make([]bool, test.NumRows())
+	for _, c := range d.cfds {
+		for r := 0; r < test.NumRows(); r++ {
+			if out[r] {
+				continue
+			}
+			match := true
+			for i, a := range c.LHS {
+				if test.Code(r, a) != c.Pattern[i] {
+					match = false
+					break
+				}
+			}
+			if match && test.Code(r, c.RHS) != c.Value {
+				out[r] = true
+			}
+		}
+	}
+	return out
+}

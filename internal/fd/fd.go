@@ -1,0 +1,163 @@
+// Package fd implements the functional-dependency discovery baselines the
+// paper compares against (§8.1): TANE [19] (approximate FDs via partition
+// refinement), CTANE [9] (conditional FDs with constant pattern tableaux),
+// and FDX [43] (structure estimation over the auxiliary distribution with a
+// linear structural-equation model). Each baseline also ships the
+// corresponding row-level error detector used in Table 3: constraints are
+// mined on a clean split and violations flagged on a test split.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// FD is a functional dependency LHS -> RHS over attribute indices.
+type FD struct {
+	LHS []int
+	RHS int
+}
+
+// String renders the FD with attribute indices.
+func (f FD) String() string {
+	parts := make([]string, len(f.LHS))
+	for i, a := range f.LHS {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return fmt.Sprintf("[%s]->%d", strings.Join(parts, ","), f.RHS)
+}
+
+// Name renders the FD with attribute names from rel.
+func (f FD) Name(rel *dataset.Relation) string {
+	parts := make([]string, len(f.LHS))
+	for i, a := range f.LHS {
+		parts[i] = rel.Attr(a)
+	}
+	return fmt.Sprintf("%s -> %s", strings.Join(parts, ","), rel.Attr(f.RHS))
+}
+
+// lhsKey builds a string key from the LHS values of row r.
+func lhsKey(rel *dataset.Relation, lhs []int, r int) (string, bool) {
+	var b []byte
+	for _, a := range lhs {
+		v := rel.Code(r, a)
+		if v == dataset.Missing {
+			return "", false
+		}
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ':')
+	}
+	return string(b), true
+}
+
+// Detector flags test rows that violate FDs mined from a training split:
+// for each FD, the training data defines a lookup from LHS tuple to the
+// majority RHS value; a test row is flagged when its LHS tuple is known and
+// its RHS value disagrees.
+type Detector struct {
+	fds     []FD
+	lookups []map[string]int32
+}
+
+// NewDetector builds the lookup tables from train.
+func NewDetector(fds []FD, train *dataset.Relation) *Detector {
+	d := &Detector{fds: fds, lookups: make([]map[string]int32, len(fds))}
+	for i, f := range fds {
+		counts := map[string]map[int32]int{}
+		for r := 0; r < train.NumRows(); r++ {
+			k, ok := lhsKey(train, f.LHS, r)
+			if !ok {
+				continue
+			}
+			m := counts[k]
+			if m == nil {
+				m = map[int32]int{}
+				counts[k] = m
+			}
+			m[train.Code(r, f.RHS)]++
+		}
+		lk := make(map[string]int32, len(counts))
+		for k, m := range counts {
+			best, bestC := int32(-1), -1
+			for v, c := range m {
+				if c > bestC || (c == bestC && v < best) {
+					best, bestC = v, c
+				}
+			}
+			lk[k] = best
+		}
+		d.lookups[i] = lk
+	}
+	return d
+}
+
+// FDs returns the detector's dependency set.
+func (d *Detector) FDs() []FD { return d.fds }
+
+// Flag returns a per-row violation mask over test. Test values must share
+// train's dictionaries (clone the relation before corrupting it).
+func (d *Detector) Flag(test *dataset.Relation) []bool {
+	out := make([]bool, test.NumRows())
+	for i, f := range d.fds {
+		lk := d.lookups[i]
+		for r := 0; r < test.NumRows(); r++ {
+			if out[r] {
+				continue
+			}
+			k, ok := lhsKey(test, f.LHS, r)
+			if !ok {
+				continue
+			}
+			if want, known := lk[k]; known && want != test.Code(r, f.RHS) {
+				out[r] = true
+			}
+		}
+	}
+	return out
+}
+
+// sortFDs orders FDs canonically for deterministic output.
+func sortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		a, b := fds[i], fds[j]
+		if a.RHS != b.RHS {
+			return a.RHS < b.RHS
+		}
+		if len(a.LHS) != len(b.LHS) {
+			return len(a.LHS) < len(b.LHS)
+		}
+		for k := range a.LHS {
+			if a.LHS[k] != b.LHS[k] {
+				return a.LHS[k] < b.LHS[k]
+			}
+		}
+		return false
+	})
+}
+
+// subsumes reports whether some existing FD for the same RHS has an LHS
+// that is a subset of lhs (minimality pruning).
+func subsumes(found []FD, lhs []int, rhs int) bool {
+	set := map[int]bool{}
+	for _, a := range lhs {
+		set[a] = true
+	}
+	for _, f := range found {
+		if f.RHS != rhs {
+			continue
+		}
+		all := true
+		for _, a := range f.LHS {
+			if !set[a] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+package fd
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/errgen"
+)
+
+func postal(t *testing.T, n int, seed int64) *dataset.Relation {
+	t.Helper()
+	rel, err := bn.PostalChain(8).Sample(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func hasFD(fds []FD, lhs []int, rhs int) bool {
+	for _, f := range fds {
+		if f.RHS != rhs || len(f.LHS) != len(lhs) {
+			continue
+		}
+		same := true
+		for i := range lhs {
+			if f.LHS[i] != lhs[i] {
+				same = false
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTANEFindsChainFDs(t *testing.T) {
+	rel := postal(t, 2000, 1)
+	fds, err := TANE(rel, TANEOptions{Epsilon: 0.001, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFD(fds, []int{0}, 1) {
+		t.Fatalf("PostalCode -> City missing: %v", fds)
+	}
+	if !hasFD(fds, []int{1}, 2) {
+		t.Fatalf("City -> State missing: %v", fds)
+	}
+	if !hasFD(fds, []int{2}, 3) {
+		t.Fatalf("State -> Country missing: %v", fds)
+	}
+	// Minimality: [0 1] -> 2 must be pruned because [1] -> 2 holds.
+	if hasFD(fds, []int{0, 1}, 2) {
+		t.Fatalf("non-minimal FD kept: %v", fds)
+	}
+}
+
+func TestTANEApproximateTolerance(t *testing.T) {
+	rel := postal(t, 2000, 2)
+	if _, err := errgen.Inject(rel, errgen.Options{Rate: 0.005, MinErrors: 5, Columns: []int{1}, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := TANE(rel, TANEOptions{Epsilon: 1e-9, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := TANE(rel, TANEOptions{Epsilon: 0.02, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasFD(strict, []int{0}, 1) {
+		t.Fatal("exact TANE found the corrupted FD")
+	}
+	if !hasFD(loose, []int{0}, 1) {
+		t.Fatal("approximate TANE missed the corrupted FD")
+	}
+}
+
+func TestTANEBudget(t *testing.T) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 20, Seed: 3}).Sample(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TANE(rel, TANEOptions{MaxLHS: 3, MaxCells: 1000})
+	if err == nil {
+		t.Fatal("budget not enforced")
+	}
+}
+
+func TestTANEEmptyInputs(t *testing.T) {
+	empty := dataset.New("e", []string{"a", "b"})
+	fds, err := TANE(empty, TANEOptions{})
+	if err != nil || fds != nil {
+		t.Fatalf("empty relation: %v %v", fds, err)
+	}
+}
+
+func TestDetectorFlagsInjectedErrors(t *testing.T) {
+	rel := postal(t, 3000, 4)
+	train, test := rel.Split(0.6, 4)
+	fds, err := TANE(train, TANEOptions{Epsilon: 0.001, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(fds, train)
+	if len(det.FDs()) == 0 {
+		t.Fatal("no FDs for detector")
+	}
+	cleanFlags := det.Flag(test)
+	for i, f := range cleanFlags {
+		if f {
+			t.Fatalf("clean row %d flagged", i)
+		}
+	}
+	dirty := test.Clone()
+	mask, err := errgen.Inject(dirty, errgen.Options{Rate: 0.05, MinErrors: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := det.Flag(dirty)
+	tp := 0
+	for i, f := range flags {
+		if f && mask.RowDirty[i] {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("detector found no injected errors")
+	}
+}
+
+func TestCTANEFindsConditionalRules(t *testing.T) {
+	rel := postal(t, 2000, 5)
+	cfds, err := CTANE(rel, CTANEOptions{Epsilon: 0.001, MinSupport: 0.02, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfds) == 0 {
+		t.Fatal("no CFDs found on deterministic data")
+	}
+	// Every postal code value determines a city value.
+	foundCity := false
+	for _, c := range cfds {
+		if len(c.LHS) == 1 && c.LHS[0] == 0 && c.RHS == 1 {
+			foundCity = true
+		}
+	}
+	if !foundCity {
+		t.Fatalf("no PostalCode=v -> City=w rule: %v", cfds)
+	}
+	// Detector flags corrupted rows.
+	dirty := rel.Clone()
+	mask, _ := errgen.Inject(dirty, errgen.Options{Rate: 0.03, MinErrors: 10, Seed: 5})
+	flags := NewCFDDetector(cfds).Flag(dirty)
+	tp := 0
+	for i, f := range flags {
+		if f && mask.RowDirty[i] {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("CFD detector found no injected errors")
+	}
+}
+
+func TestCTANESubsumption(t *testing.T) {
+	rel := postal(t, 1500, 6)
+	cfds, err := CTANE(rel, CTANEOptions{Epsilon: 0.001, MinSupport: 0.02, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No width-2 pattern whose width-1 projection already decides the RHS.
+	for _, c := range cfds {
+		if len(c.LHS) != 2 {
+			continue
+		}
+		if cfdSubsumed(cfds[:indexOf(cfds, c)], c.LHS[:1], c.Pattern[:1], c.RHS) {
+			t.Fatalf("subsumed pattern kept: %+v", c)
+		}
+	}
+}
+
+func indexOf(cs []CFD, target CFD) int {
+	for i := range cs {
+		if &cs[i] == &target {
+			return i
+		}
+	}
+	return len(cs)
+}
+
+func TestCTANEBudget(t *testing.T) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 12, MaxCard: 8, Seed: 7}).Sample(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CTANE(rel, CTANEOptions{MaxPatterns: 3, MaxLHS: 2, MinSupport: 0.001}); err == nil {
+		t.Fatal("pattern budget not enforced")
+	}
+}
+
+func TestFDXRecoversChainStructure(t *testing.T) {
+	rel := postal(t, 3000, 8)
+	fds, err := FDX(rel, FDXOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) == 0 {
+		t.Fatal("FDX found nothing on a deterministic chain")
+	}
+	// The chain attributes should appear linked (any direction).
+	linked := func(a, b int) bool {
+		for _, f := range fds {
+			if f.RHS == b && containsInt(f.LHS, a) || f.RHS == a && containsInt(f.LHS, b) {
+				return true
+			}
+		}
+		return false
+	}
+	if !linked(0, 1) {
+		t.Fatalf("PostalCode and City unlinked: %v", fds)
+	}
+}
+
+func TestFDXDetectorWorks(t *testing.T) {
+	rel := postal(t, 3000, 9)
+	train, test := rel.Split(0.6, 9)
+	fds, err := FDX(train, FDXOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := test.Clone()
+	mask, _ := errgen.Inject(dirty, errgen.Options{Rate: 0.05, MinErrors: 20, Seed: 9})
+	flags := NewDetector(fds, train).Flag(dirty)
+	tp := 0
+	for i, f := range flags {
+		if f && mask.RowDirty[i] {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("FDX detector found no injected errors")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	x, err := solve([][]float64{{2, 1}, {1, 3}}, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(x[0]-1) > 1e-9 || abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+	// Singular system reports ill-conditioning.
+	_, err = solve([][]float64{{1, 2}, {2, 4}}, []float64{1, 2})
+	if !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("singular system: %v", err)
+	}
+	if _, err := solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestFDXIllConditioned(t *testing.T) {
+	// Two perfectly identical columns make the covariance singular.
+	rel := dataset.New("dup", []string{"a", "b", "c"})
+	for i := 0; i < 400; i++ {
+		v := "x"
+		if i%2 == 0 {
+			v = "y"
+		}
+		w := "p"
+		if i%3 == 0 {
+			w = "q"
+		}
+		rel.AppendRow([]string{v, v, w})
+	}
+	_, err := FDX(rel, FDXOptions{Seed: 10})
+	if !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("expected ill-conditioned failure, got %v", err)
+	}
+}
+
+func TestFDStringers(t *testing.T) {
+	rel := postal(t, 100, 11)
+	f := FD{LHS: []int{0, 1}, RHS: 2}
+	if f.String() == "" || f.Name(rel) == "" {
+		t.Fatal("empty rendering")
+	}
+	c := CFD{LHS: []int{0}, Pattern: []int32{0}, RHS: 1, Value: 0}
+	if c.Name(rel) == "" {
+		t.Fatal("empty CFD rendering")
+	}
+}

@@ -1,0 +1,158 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// FDXOptions tunes the FDX baseline [43].
+type FDXOptions struct {
+	// Threshold on absolute regression coefficients for declaring a parent
+	// (default 0.12).
+	Threshold float64
+	// Ridge is the L2 regularization added to the normal equations. The
+	// paper's FDX uses none (default 0), which exposes the ill-conditioned
+	// inversion failure mode Table 3 reports; set a small positive value to
+	// stabilize.
+	Ridge float64
+	// Shifts/MaxSamples/Seed tune the auxiliary sampler.
+	Shifts     int
+	MaxSamples int
+	Seed       int64
+}
+
+func (o *FDXOptions) defaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 0.12
+	}
+}
+
+// FDX discovers FDs by fitting a linear structural-equation model over the
+// auxiliary distribution, following Zhang et al. [43]: estimate a variable
+// ordering by ascending conditional variance, regress each variable on its
+// predecessors, and threshold the autoregressive coefficients to obtain
+// parent sets. As discussed in §6 of the Guardrail paper, the linear
+// additive-noise assumption is misspecified for binary indicator data —
+// the source of FDX's failures in Table 3 (ill-conditioned inversion,
+// all-rows-as-errors).
+func FDX(rel *dataset.Relation, opts FDXOptions) ([]FD, error) {
+	opts.defaults()
+	aux, err := auxdist.Sample(rel, auxdist.Options{Shifts: opts.Shifts, MaxSamples: opts.MaxSamples, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("fd: FDX sampling: %w", err)
+	}
+	m := aux.NumVars()
+	n := aux.N()
+	// Column means and centered data.
+	x := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		col := aux.Codes(j)
+		mean := 0.0
+		for _, v := range col {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		cx := make([]float64, n)
+		for i, v := range col {
+			cx[i] = float64(v) - mean
+		}
+		x[j] = cx
+	}
+	// Covariance matrix.
+	cov := make([][]float64, m)
+	for i := range cov {
+		cov[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += x[i][r] * x[j][r]
+			}
+			s /= float64(n)
+			cov[i][j], cov[j][i] = s, s
+		}
+	}
+
+	order, err := varianceOrdering(cov, opts.Ridge)
+	if err != nil {
+		return nil, err
+	}
+
+	var fds []FD
+	for pos := 1; pos < m; pos++ {
+		k := order[pos]
+		preds := order[:pos]
+		coef, err := regress(cov, preds, k, opts.Ridge)
+		if err != nil {
+			return nil, fmt.Errorf("fd: FDX regression for variable %d: %w", k, err)
+		}
+		var lhs []int
+		for i, p := range preds {
+			if abs(coef[i]) >= opts.Threshold {
+				lhs = append(lhs, p)
+			}
+		}
+		if len(lhs) > 0 {
+			sort.Ints(lhs)
+			fds = append(fds, FD{LHS: lhs, RHS: k})
+		}
+	}
+	sortFDs(fds)
+	return fds, nil
+}
+
+// varianceOrdering greedily orders variables by ascending residual
+// variance given the already-selected prefix — the autoregressive ordering
+// heuristic of FDX.
+func varianceOrdering(cov [][]float64, ridge float64) ([]int, error) {
+	m := len(cov)
+	order := make([]int, 0, m)
+	used := make([]bool, m)
+	for len(order) < m {
+		bestVar, bestResid := -1, 0.0
+		for k := 0; k < m; k++ {
+			if used[k] {
+				continue
+			}
+			resid := cov[k][k]
+			if len(order) > 0 {
+				coef, err := regress(cov, order, k, ridge)
+				if err != nil {
+					return nil, err
+				}
+				for i, p := range order {
+					resid -= coef[i] * cov[p][k]
+				}
+			}
+			if bestVar < 0 || resid < bestResid {
+				bestVar, bestResid = k, resid
+			}
+		}
+		used[bestVar] = true
+		order = append(order, bestVar)
+	}
+	return order, nil
+}
+
+// regress solves the normal equations for predicting variable k from preds
+// using the covariance matrix.
+func regress(cov [][]float64, preds []int, k int, ridge float64) ([]float64, error) {
+	p := len(preds)
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for i, pi := range preds {
+		a[i] = make([]float64, p)
+		for j, pj := range preds {
+			a[i][j] = cov[pi][pj]
+			if i == j {
+				a[i][j] += ridge
+			}
+		}
+		b[i] = cov[pi][k]
+	}
+	return solve(a, b)
+}

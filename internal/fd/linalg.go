@@ -1,0 +1,65 @@
+package fd
+
+import "errors"
+
+// ErrIllConditioned is returned when a linear system's pivot collapses —
+// the "ill-conditioned matrix inversion" failure mode the paper observes
+// for FDX on dataset #3.
+var ErrIllConditioned = errors.New("fd: ill-conditioned linear system")
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// (A | b), returning x with A x = b. A must be square.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("fd: solve shape mismatch")
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("fd: solve requires a square matrix")
+		}
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	const pivotTol = 1e-10
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		best, bestAbs := col, abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := abs(m[r][col]); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if bestAbs < pivotTol {
+			return nil, ErrIllConditioned
+		}
+		m[col], m[best] = m[best], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

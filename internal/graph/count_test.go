@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountLabeledDAGs(t *testing.T) {
+	// OEIS A003024: 1, 1, 3, 25, 543, 29281, 3781503.
+	want := []int64{1, 1, 3, 25, 543, 29281, 3781503}
+	for n, w := range want {
+		got := CountLabeledDAGs(n)
+		if got.Cmp(big.NewInt(w)) != 0 {
+			t.Fatalf("a(%d) = %s, want %d", n, got, w)
+		}
+	}
+	if CountLabeledDAGs(-1).Sign() != 0 {
+		t.Fatal("negative n should count zero")
+	}
+	// n=40 must not overflow and must be astronomically larger than the
+	// Table 7 search spaces.
+	big40 := CountLabeledDAGs(40)
+	if big40.BitLen() < 100 {
+		t.Fatalf("a(40) suspiciously small: %s", big40)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	d := NewDAG(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	c := d.TransitiveClosure()
+	if !c[0][3] || !c[0][1] || !c[1][3] {
+		t.Fatalf("closure wrong: %v", c)
+	}
+	if c[3][0] || c[0][0] {
+		t.Fatalf("spurious reachability: %v", c)
+	}
+}
+
+func TestTransitiveReductionChain(t *testing.T) {
+	// Example 3.1: chain plus the transitive PostalCode -> State edge.
+	d := NewDAG(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(0, 2) // transitive
+	d.AddEdge(0, 3) // transitive
+	r := d.TransitiveReduction()
+	if r.NumEdges() != 3 {
+		t.Fatalf("reduction kept %d edges: %s", r.NumEdges(), r)
+	}
+	if !r.HasEdge(0, 1) || !r.HasEdge(1, 2) || !r.HasEdge(2, 3) {
+		t.Fatalf("chain edges lost: %s", r)
+	}
+}
+
+// Property: transitive reduction preserves reachability and never adds
+// edges.
+func TestTransitiveReductionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(5, seed)
+		r := d.TransitiveReduction()
+		if r.NumEdges() > d.NumEdges() {
+			return false
+		}
+		ca, cb := d.TransitiveClosure(), r.TransitiveClosure()
+		for i := range ca {
+			for j := range ca[i] {
+				if ca[i][j] != cb[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDAG(n int, seed int64) *DAG {
+	d := NewDAG(n)
+	x := uint64(seed)*2654435761 + 12345
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if next()%3 == 0 {
+				d.AddEdge(i, j)
+			}
+		}
+	}
+	return d
+}
+
+func TestAncestralSubgraph(t *testing.T) {
+	d := NewDAG(5)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(3, 4)
+	anc := d.AncestralSubgraph([]int{2})
+	if !anc[0] || !anc[1] || !anc[2] {
+		t.Fatalf("ancestors missing: %v", anc)
+	}
+	if anc[3] || anc[4] {
+		t.Fatalf("unrelated nodes included: %v", anc)
+	}
+	if got := d.AncestralSubgraph([]int{99}); len(got) != 0 {
+		t.Fatalf("out-of-range node produced %v", got)
+	}
+}

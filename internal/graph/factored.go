@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"math"
+)
+
+// This file implements the factored MEC counting optimization the paper
+// leaves as future work in §4.5 ("it is possible to further optimize it
+// with sophisticated search strategies"): the undirected part of a CPDAG
+// decomposes into connected chain components whose orientations are
+// independent, so the MEC size is the product of per-component counts and
+// enumeration cost drops from the product to the sum of component costs.
+
+// UndirectedComponents returns the connected components of p's undirected
+// part, each as a sorted node list; isolated nodes (no undirected edges)
+// are omitted.
+func (p *PDAG) UndirectedComponents() [][]int {
+	seen := make([]bool, p.n)
+	var out [][]int
+	for start := 0; start < p.n; start++ {
+		if seen[start] || len(p.UndirectedNeighbors(start)) == 0 {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range p.UndirectedNeighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sortInts(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// CountMECFactored counts the DAGs in the MEC of p as the product of
+// per-chain-component counts, capped at cap (0 = unlimited; the returned
+// bool is false when the cap truncated the count). For valid CPDAGs the
+// result equals CountMEC at a fraction of the cost on graphs with many
+// components.
+func CountMECFactored(p *PDAG, cap int) (float64, bool) {
+	ref := p.Clone()
+	MeekClose(ref)
+	total := 1.0
+	exact := true
+	for _, comp := range ref.UndirectedComponents() {
+		sub := inducedPDAG(ref, comp)
+		limit := 0
+		if cap > 0 {
+			limit = cap
+		}
+		count, err := CountMEC(sub, limit)
+		if err == ErrEnumLimit {
+			exact = false
+		}
+		total *= float64(count)
+		if cap > 0 && total > float64(cap) {
+			return total, false
+		}
+		if math.IsInf(total, 1) {
+			return total, false
+		}
+	}
+	return total, exact
+}
+
+// inducedPDAG extracts the subgraph of p induced by nodes (undirected and
+// directed edges among them), with nodes renumbered 0..len(nodes)-1.
+func inducedPDAG(p *PDAG, nodes []int) *PDAG {
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	sub := NewPDAG(len(nodes))
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			if p.HasUndirected(u, v) && idx[u] < idx[v] {
+				sub.AddUndirected(idx[u], idx[v])
+			}
+			if p.HasDirected(u, v) {
+				sub.AddDirected(idx[u], idx[v])
+			}
+		}
+	}
+	return sub
+}

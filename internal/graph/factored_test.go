@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUndirectedComponents(t *testing.T) {
+	p := NewPDAG(6)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(1, 2)
+	p.AddUndirected(3, 4)
+	p.AddDirected(4, 5) // directed edges don't join components
+	comps := p.UndirectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+}
+
+func TestCountMECFactoredMatchesDirect(t *testing.T) {
+	// Two disjoint chains: each has 3 extensions, the MEC has 9.
+	p := NewPDAG(6)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(1, 2)
+	p.AddUndirected(3, 4)
+	p.AddUndirected(4, 5)
+	direct, err := CountMEC(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factored, exact := CountMECFactored(p, 0)
+	if !exact || factored != float64(direct) {
+		t.Fatalf("factored = %g (exact=%v), direct = %d", factored, exact, direct)
+	}
+	if direct != 9 {
+		t.Fatalf("two chains should give 9 extensions, got %d", direct)
+	}
+}
+
+func TestCountMECFactoredFullyDirected(t *testing.T) {
+	p := NewPDAG(3)
+	p.AddDirected(0, 1)
+	p.AddDirected(1, 2)
+	count, exact := CountMECFactored(p, 0)
+	if !exact || count != 1 {
+		t.Fatalf("fully directed PDAG: count=%g exact=%v", count, exact)
+	}
+}
+
+// Property: on random CPDAGs the factored count equals the direct count.
+func TestCountMECFactoredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDAG(6)
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				if rng.Float64() < 0.3 {
+					d.AddEdge(i, j)
+				}
+			}
+		}
+		cp := CPDAGFromDAG(d)
+		direct, err := CountMEC(cp, 0)
+		if err != nil {
+			return false
+		}
+		factored, exact := CountMECFactored(cp, 0)
+		return exact && factored == float64(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMECFactoredCap(t *testing.T) {
+	// Complete graph on 5 nodes has 5! = 120 members; cap below that.
+	p := NewPDAG(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			p.AddUndirected(i, j)
+		}
+	}
+	_, exact := CountMECFactored(p, 10)
+	if exact {
+		t.Fatal("cap not reported")
+	}
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDAGBasics(t *testing.T) {
+	d := NewDAG(3)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(2, 0); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+	if err := d.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+	if d.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", d.NumEdges())
+	}
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 3)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[0] > pos[1] || pos[1] > pos[2] {
+		t.Fatalf("bad topo order %v", order)
+	}
+}
+
+func TestPDAGEdgeOps(t *testing.T) {
+	p := NewPDAG(3)
+	p.AddUndirected(0, 1)
+	if !p.HasUndirected(0, 1) || !p.HasUndirected(1, 0) {
+		t.Fatal("undirected edge not symmetric")
+	}
+	p.AddDirected(0, 1)
+	if p.HasUndirected(0, 1) {
+		t.Fatal("AddDirected did not replace undirected edge")
+	}
+	if !p.HasDirected(0, 1) || p.HasDirected(1, 0) {
+		t.Fatal("directed edge wrong")
+	}
+	p.RemoveEdge(0, 1)
+	if p.Adjacent(0, 1) {
+		t.Fatal("RemoveEdge failed")
+	}
+}
+
+func TestHasDirectedCycle(t *testing.T) {
+	p := NewPDAG(3)
+	p.AddDirected(0, 1)
+	p.AddDirected(1, 2)
+	if p.HasDirectedCycle() {
+		t.Fatal("false positive cycle")
+	}
+	p.AddDirected(2, 0)
+	if !p.HasDirectedCycle() {
+		t.Fatal("missed cycle")
+	}
+}
+
+// chainCPDAG builds the CPDAG of the chain 0 - 1 - 2 (no v-structure, so
+// fully undirected).
+func TestCPDAGChain(t *testing.T) {
+	d := NewDAG(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	p := CPDAGFromDAG(d)
+	if p.HasDirected(0, 1) || p.HasDirected(1, 2) {
+		t.Fatalf("chain CPDAG should be undirected: %s", p)
+	}
+	if !p.HasUndirected(0, 1) || !p.HasUndirected(1, 2) {
+		t.Fatalf("chain CPDAG missing edges: %s", p)
+	}
+}
+
+func TestCPDAGCollider(t *testing.T) {
+	// 0 -> 2 <- 1 is a v-structure: both edges compelled.
+	d := NewDAG(3)
+	d.AddEdge(0, 2)
+	d.AddEdge(1, 2)
+	p := CPDAGFromDAG(d)
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Fatalf("collider not preserved: %s", p)
+	}
+}
+
+func TestMeekR1Propagation(t *testing.T) {
+	// 0 -> 1 - 2 with 0 not adjacent 2: R1 compels 1 -> 2.
+	p := NewPDAG(3)
+	p.AddDirected(0, 1)
+	p.AddUndirected(1, 2)
+	MeekClose(p)
+	if !p.HasDirected(1, 2) {
+		t.Fatalf("R1 failed: %s", p)
+	}
+}
+
+func TestMeekR2Propagation(t *testing.T) {
+	// 0 -> 1 -> 2 and 0 - 2: R2 compels 0 -> 2.
+	p := NewPDAG(3)
+	p.AddDirected(0, 1)
+	p.AddDirected(1, 2)
+	p.AddUndirected(0, 2)
+	MeekClose(p)
+	if !p.HasDirected(0, 2) {
+		t.Fatalf("R2 failed: %s", p)
+	}
+}
+
+func TestMeekR3Propagation(t *testing.T) {
+	// a=0 with 0-1, 0-2, 0-3; 2 -> 1, 3 -> 1, 2 and 3 non-adjacent: R3
+	// compels 0 -> 1.
+	p := NewPDAG(4)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(0, 2)
+	p.AddUndirected(0, 3)
+	p.AddDirected(2, 1)
+	p.AddDirected(3, 1)
+	MeekClose(p)
+	if !p.HasDirected(0, 1) {
+		t.Fatalf("R3 failed: %s", p)
+	}
+}
+
+func TestOrientVStructures(t *testing.T) {
+	// Skeleton 0 - 2 - 1 with sepset(0,1) = {} (2 not in it): collider.
+	sk := NewPDAG(3)
+	sk.AddUndirected(0, 2)
+	sk.AddUndirected(1, 2)
+	sep := map[int64][]int{PairKey(0, 1): {}}
+	p := OrientVStructures(sk, sep)
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Fatalf("v-structure not oriented: %s", p)
+	}
+	// With 2 in the sepset there is no collider.
+	sep2 := map[int64][]int{PairKey(0, 1): {2}}
+	p2 := OrientVStructures(sk, sep2)
+	if p2.HasDirected(0, 2) || p2.HasDirected(1, 2) {
+		t.Fatalf("spurious v-structure: %s", p2)
+	}
+}
+
+func TestEnumerateMECChain(t *testing.T) {
+	// CPDAG 0 - 1 - 2 has 3 members: 0->1->2, 0<-1<-2, 0<-1->2
+	// (0->1<-2 is excluded: it is a new v-structure).
+	p := NewPDAG(3)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(1, 2)
+	dags, err := EnumerateMEC(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 3 {
+		t.Fatalf("chain MEC size = %d, want 3; got %v", len(dags), dags)
+	}
+	seen := map[string]bool{}
+	for _, d := range dags {
+		seen[d.Key()] = true
+	}
+	if seen["0->1, 2->1"] {
+		t.Fatal("enumeration produced the forbidden collider")
+	}
+}
+
+func TestEnumerateMECCollider(t *testing.T) {
+	d := NewDAG(3)
+	d.AddEdge(0, 2)
+	d.AddEdge(1, 2)
+	p := CPDAGFromDAG(d)
+	dags, err := EnumerateMEC(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 1 {
+		t.Fatalf("collider MEC size = %d, want 1", len(dags))
+	}
+}
+
+func TestEnumerateMECComplete3(t *testing.T) {
+	// Complete undirected graph on 3 nodes: all 6 orderings are Markov
+	// equivalent (every DAG is a complete DAG, no v-structures).
+	p := NewPDAG(3)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(0, 2)
+	p.AddUndirected(1, 2)
+	dags, err := EnumerateMEC(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 6 {
+		t.Fatalf("K3 MEC size = %d, want 6", len(dags))
+	}
+}
+
+func TestEnumerateMECLimit(t *testing.T) {
+	p := NewPDAG(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p.AddUndirected(i, j)
+		}
+	}
+	dags, err := EnumerateMEC(p, 5)
+	if err != ErrEnumLimit {
+		t.Fatalf("expected ErrEnumLimit, got %v", err)
+	}
+	if len(dags) != 5 {
+		t.Fatalf("limited enumeration returned %d", len(dags))
+	}
+}
+
+// Property: every enumerated member of a random DAG's MEC has the same
+// CPDAG, and the original DAG is among the members.
+func TestEnumerateMECRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(2)
+		d := NewDAG(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					d.AddEdge(i, j)
+				}
+			}
+		}
+		cp := CPDAGFromDAG(d)
+		dags, err := EnumerateMEC(cp, 0)
+		if err != nil {
+			return false
+		}
+		found := false
+		for _, m := range dags {
+			if m.Key() == d.Key() {
+				found = true
+			}
+			if !samePDAG(CPDAGFromDAG(m), cp) {
+				return false
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAcyclicOrientations(t *testing.T) {
+	// Triangle: 6 acyclic orientations (8 total minus 2 cyclic).
+	p := NewPDAG(3)
+	p.AddUndirected(0, 1)
+	p.AddUndirected(1, 2)
+	p.AddUndirected(0, 2)
+	oc := CountAcyclicOrientations(p, 0)
+	if !oc.Exact || oc.Count != 6 {
+		t.Fatalf("triangle = %+v, want exact 6", oc)
+	}
+	// Path of 2 edges: all 4 orientations acyclic.
+	q := NewPDAG(3)
+	q.AddUndirected(0, 1)
+	q.AddUndirected(1, 2)
+	oc = CountAcyclicOrientations(q, 0)
+	if !oc.Exact || oc.Count != 4 {
+		t.Fatalf("path = %+v, want exact 4", oc)
+	}
+}
+
+func TestCountAcyclicOrientationsEstimate(t *testing.T) {
+	// Dense graph beyond budget falls back to the 2^m estimate.
+	n := 12
+	p := NewPDAG(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p.AddUndirected(i, j)
+		}
+	}
+	oc := CountAcyclicOrientations(p, 1000)
+	if oc.Exact {
+		t.Fatal("expected estimate for dense graph with tiny budget")
+	}
+	m := n * (n - 1) / 2
+	if oc.Count != math.Pow(2, float64(m)) {
+		t.Fatalf("estimate = %g, want 2^%d", oc.Count, m)
+	}
+}
+
+// Property: the MEC of a DAG never contains a graph with different skeleton
+// size, and MEC size >= 1.
+func TestMECSkeletonProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDAG(4)
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if rng.Float64() < 0.5 {
+					d.AddEdge(i, j)
+				}
+			}
+		}
+		dags, err := EnumerateMEC(CPDAGFromDAG(d), 0)
+		if err != nil || len(dags) < 1 {
+			return false
+		}
+		for _, m := range dags {
+			if m.NumEdges() != d.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

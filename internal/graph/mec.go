@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEnumLimit is returned when enumeration exceeds the caller's budget.
+var ErrEnumLimit = errors.New("graph: enumeration limit exceeded")
+
+// EnumerateMEC returns every consistent DAG extension of the (C)PDAG p,
+// up to maxDAGs (0 means unlimited). This is the enumeration step of
+// Alg. 2 in the paper, implemented like the PDAG-enumeration library [36]
+// the paper adapts: orient one undirected edge at a time and close under
+// the Meek rules, which both prunes inconsistent branches early and — for
+// a valid CPDAG — yields exactly the Markov equivalence class (Meek's
+// rules are sound and complete there). For the imperfect PDAGs a
+// finite-sample PC run can emit, the same search degrades gracefully to
+// the acyclic extensions that respect every compelled edge.
+func EnumerateMEC(p *PDAG, maxDAGs int) ([]*DAG, error) {
+	ref := p.Clone()
+	MeekClose(ref)
+	if ref.HasDirectedCycle() {
+		return nil, errors.New("graph: CPDAG has a directed cycle")
+	}
+	var out []*DAG
+	var walk func(q *PDAG) error
+	walk = func(q *PDAG) error {
+		a, b, ok := q.UndirectedEdge()
+		if !ok {
+			d, err := q.ToDAG()
+			if err != nil {
+				return nil // cyclic completion; not an extension
+			}
+			out = append(out, d)
+			if maxDAGs > 0 && len(out) >= maxDAGs {
+				return ErrEnumLimit
+			}
+			return nil
+		}
+		for _, or := range [2][2]int{{a, b}, {b, a}} {
+			next := q.Clone()
+			next.AddDirected(or[0], or[1])
+			MeekClose(next)
+			if next.HasDirectedCycle() {
+				continue
+			}
+			if err := walk(next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := walk(ref)
+	if err == ErrEnumLimit {
+		return out, ErrEnumLimit
+	}
+	return out, err
+}
+
+// CountMEC reports the number of DAGs in the MEC of p, stopping at cap
+// (0 = unlimited). It shares EnumerateMEC's search but does not retain the
+// DAGs.
+func CountMEC(p *PDAG, cap int) (int, error) {
+	dags, err := EnumerateMEC(p, cap)
+	if err == ErrEnumLimit {
+		return len(dags), ErrEnumLimit
+	}
+	return len(dags), err
+}
+
+// samePDAG reports structural equality of two PDAGs.
+func samePDAG(a, b *PDAG) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < a.n; j++ {
+			if a.dir[i][j] != b.dir[i][j] || a.und[i][j] != b.und[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OrientationCount is the result of counting the acyclic orientations of a
+// skeleton — the paper's "# DAGs (w/o MEC)" search space in Table 7.
+type OrientationCount struct {
+	Count float64 // exact when Exact, otherwise the 2^m upper bound
+	Exact bool
+}
+
+// CountAcyclicOrientations counts the acyclic orientations of the skeleton
+// underlying p (all edges treated as undirected). When the backtracking
+// search exceeds budget node visits the count is estimated as 2^m (m =
+// number of skeleton edges) with Exact=false — the upper bound the
+// unconstrained search would have to consider.
+func CountAcyclicOrientations(p *PDAG, budget int) OrientationCount {
+	n := p.n
+	type edge struct{ a, b int }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p.Adjacent(i, j) {
+				edges = append(edges, edge{i, j})
+			}
+		}
+	}
+	m := len(edges)
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	// 2^m leaves is a hard lower bound on work; bail to the estimate early.
+	if m > 40 || math.Pow(2, float64(m)) > float64(budget)*64 {
+		return OrientationCount{Count: math.Pow(2, float64(m)), Exact: false}
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	visits := 0
+	var count float64
+	var reach func(u, v int) bool
+	reach = func(u, v int) bool {
+		if u == v {
+			return true
+		}
+		seen := make([]bool, n)
+		stack := []int{u}
+		seen[u] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for y := 0; y < n; y++ {
+				if adj[x][y] && !seen[y] {
+					if y == v {
+						return true
+					}
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return false
+	}
+	var walk func(k int) bool
+	walk = func(k int) bool {
+		visits++
+		if visits > budget {
+			return false
+		}
+		if k == m {
+			count++
+			return true
+		}
+		e := edges[k]
+		ok := true
+		if !reach(e.b, e.a) { // e.a -> e.b keeps acyclicity
+			adj[e.a][e.b] = true
+			ok = walk(k + 1)
+			adj[e.a][e.b] = false
+		}
+		if ok && !reach(e.a, e.b) {
+			adj[e.b][e.a] = true
+			ok = walk(k + 1)
+			adj[e.b][e.a] = false
+		}
+		return ok
+	}
+	if walk(0) {
+		return OrientationCount{Count: count, Exact: true}
+	}
+	return OrientationCount{Count: math.Pow(2, float64(m)), Exact: false}
+}

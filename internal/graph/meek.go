@@ -1,0 +1,217 @@
+package graph
+
+// MeekClose applies Meek's completion rules R1–R4 to p until fixpoint,
+// orienting undirected edges whose direction is compelled. It mutates p.
+//
+//	R1: a -> b, b - c, a not adjacent c      => b -> c
+//	R2: a -> b, b -> c, a - c                => a -> c
+//	R3: a - b, a - c, a - d, c -> b, d -> b,
+//	    c not adjacent d                     => a -> b
+//	R4: a - b, a - c (or a adj c), c -> d, d -> b, b - a,
+//	    c adjacent a, b not adjacent? (standard form below)
+func MeekClose(p *PDAG) {
+	for changed := true; changed; {
+		changed = false
+		n := p.n
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !p.und[a][b] {
+					continue
+				}
+				if meekR1(p, a, b) || meekR2(p, a, b) || meekR3(p, a, b) || meekR4(p, a, b) {
+					if directedReach(p, b, a) {
+						continue // conflicting evidence; refuse to close a cycle
+					}
+					p.AddDirected(a, b)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// meekR1: exists c with c -> a and c not adjacent to b  =>  a -> b.
+func meekR1(p *PDAG, a, b int) bool {
+	for c := 0; c < p.n; c++ {
+		if p.dir[c][a] && !p.Adjacent(c, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// meekR2: exists c with a -> c and c -> b  =>  a -> b.
+func meekR2(p *PDAG, a, b int) bool {
+	for c := 0; c < p.n; c++ {
+		if p.dir[a][c] && p.dir[c][b] {
+			return true
+		}
+	}
+	return false
+}
+
+// meekR3: exist non-adjacent c, d with a - c, a - d, c -> b, d -> b
+// => a -> b.
+func meekR3(p *PDAG, a, b int) bool {
+	for c := 0; c < p.n; c++ {
+		if !(p.und[a][c] && p.dir[c][b]) {
+			continue
+		}
+		for d := c + 1; d < p.n; d++ {
+			if p.und[a][d] && p.dir[d][b] && !p.Adjacent(c, d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// meekR4: exist c, d with a - d (or a adjacent d), d -> c, c -> b, and
+// a - c undirected with c,... — we use the standard formulation: a - b
+// orients to a -> b if there are c, d such that a - c (any adjacency),
+// c -> d, d -> b, and c not adjacent to b... The commonly implemented
+// version: b - a, a adjacent d, d -> c, c -> b, and d not adjacent b.
+func meekR4(p *PDAG, a, b int) bool {
+	for d := 0; d < p.n; d++ {
+		if !p.Adjacent(a, d) {
+			continue
+		}
+		for c := 0; c < p.n; c++ {
+			if p.dir[d][c] && p.dir[c][b] && p.und[a][c] && !p.Adjacent(d, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OrientVStructures turns an undirected skeleton plus separation sets into
+// a PDAG by orienting every unshielded collider a -> c <- b where c is not
+// in sepset(a, b). sepsets maps the unordered pair key PairKey(a,b) to the
+// separating set found during skeleton discovery.
+func OrientVStructures(skeleton *PDAG, sepsets map[int64][]int) *PDAG {
+	p := skeleton.Clone()
+	n := p.n
+	for c := 0; c < n; c++ {
+		for a := 0; a < n; a++ {
+			if a == c || !p.Adjacent(a, c) {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if b == c || !p.Adjacent(b, c) || p.Adjacent(a, b) {
+					continue
+				}
+				sep, ok := sepsets[PairKey(a, b)]
+				if !ok {
+					continue
+				}
+				if !contains(sep, c) {
+					// Orient the collider unless a previous (conflicting)
+					// orientation or a directed cycle forbids it — the
+					// conservative finite-sample PC rule.
+					if !p.HasDirected(c, a) && !directedReach(p, c, a) {
+						p.AddDirected(a, c)
+					}
+					if !p.HasDirected(c, b) && !directedReach(p, c, b) {
+						p.AddDirected(b, c)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// PairKey encodes the unordered pair {a, b} as a single int64 key.
+func PairKey(a, b int) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(b)
+}
+
+// directedReach reports whether v is reachable from u along directed edges.
+func directedReach(p *PDAG, u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, p.n)
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := 0; y < p.n; y++ {
+			if p.dir[x][y] && !seen[y] {
+				if y == v {
+					return true
+				}
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CPDAGFromDAG computes the completed PDAG (the canonical representative of
+// d's Markov equivalence class): keep the skeleton, orient exactly the
+// v-structure edges, then close under the Meek rules.
+func CPDAGFromDAG(d *DAG) *PDAG {
+	n := d.n
+	p := NewPDAG(n)
+	// Skeleton as undirected edges.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d.adj[i][j] {
+				p.AddUndirected(i, j)
+			}
+		}
+	}
+	// Orient v-structures of d.
+	for c := 0; c < n; c++ {
+		pa := d.Parents(c)
+		for x := 0; x < len(pa); x++ {
+			for y := x + 1; y < len(pa); y++ {
+				a, b := pa[x], pa[y]
+				if !d.adj[a][b] && !d.adj[b][a] {
+					p.AddDirected(a, c)
+					p.AddDirected(b, c)
+				}
+			}
+		}
+	}
+	MeekClose(p)
+	return p
+}
+
+// vStructures returns the set of v-structures (a -> c <- b with a, b
+// non-adjacent), keyed canonically, of either a DAG or the directed part of
+// a PDAG.
+func vStructuresOfDAG(d *DAG) map[[3]int]bool {
+	out := map[[3]int]bool{}
+	for c := 0; c < d.n; c++ {
+		pa := d.Parents(c)
+		for x := 0; x < len(pa); x++ {
+			for y := x + 1; y < len(pa); y++ {
+				a, b := pa[x], pa[y]
+				if !d.adj[a][b] && !d.adj[b][a] {
+					if a > b {
+						a, b = b, a
+					}
+					out[[3]int{a, c, b}] = true
+				}
+			}
+		}
+	}
+	return out
+}

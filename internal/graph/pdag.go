@@ -1,0 +1,365 @@
+// Package graph implements the graphical substrate of Guardrail's sketch
+// learner: DAGs, partially directed acyclic graphs (PDAGs/CPDAGs),
+// v-structure orientation, the Meek completion rules, and enumeration and
+// counting of the Markov equivalence class (MEC) — the search space
+// reduction that Table 7 of the paper reports.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PDAG is a partially directed graph over n nodes. Edges are either
+// directed (i -> j) or undirected (i - j); at most one edge connects any
+// pair.
+type PDAG struct {
+	n   int
+	dir [][]bool // dir[i][j]: directed edge i -> j
+	und [][]bool // und[i][j] == und[j][i]: undirected edge i - j
+}
+
+// NewPDAG creates an edgeless PDAG on n nodes.
+func NewPDAG(n int) *PDAG {
+	p := &PDAG{n: n, dir: make([][]bool, n), und: make([][]bool, n)}
+	for i := 0; i < n; i++ {
+		p.dir[i] = make([]bool, n)
+		p.und[i] = make([]bool, n)
+	}
+	return p
+}
+
+// N reports the number of nodes.
+func (p *PDAG) N() int { return p.n }
+
+// Clone deep-copies the PDAG.
+func (p *PDAG) Clone() *PDAG {
+	q := NewPDAG(p.n)
+	for i := 0; i < p.n; i++ {
+		copy(q.dir[i], p.dir[i])
+		copy(q.und[i], p.und[i])
+	}
+	return q
+}
+
+// AddDirected inserts i -> j, replacing any existing edge between i and j.
+func (p *PDAG) AddDirected(i, j int) {
+	p.und[i][j], p.und[j][i] = false, false
+	p.dir[j][i] = false
+	p.dir[i][j] = true
+}
+
+// AddUndirected inserts i - j, replacing any existing edge between i and j.
+func (p *PDAG) AddUndirected(i, j int) {
+	p.dir[i][j], p.dir[j][i] = false, false
+	p.und[i][j], p.und[j][i] = true, true
+}
+
+// RemoveEdge deletes any edge between i and j.
+func (p *PDAG) RemoveEdge(i, j int) {
+	p.dir[i][j], p.dir[j][i] = false, false
+	p.und[i][j], p.und[j][i] = false, false
+}
+
+// HasDirected reports whether i -> j exists.
+func (p *PDAG) HasDirected(i, j int) bool { return p.dir[i][j] }
+
+// HasUndirected reports whether i - j exists.
+func (p *PDAG) HasUndirected(i, j int) bool { return p.und[i][j] }
+
+// Adjacent reports whether any edge connects i and j.
+func (p *PDAG) Adjacent(i, j int) bool {
+	return p.dir[i][j] || p.dir[j][i] || p.und[i][j]
+}
+
+// Parents returns all k with k -> i.
+func (p *PDAG) Parents(i int) []int {
+	var out []int
+	for k := 0; k < p.n; k++ {
+		if p.dir[k][i] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Children returns all k with i -> k.
+func (p *PDAG) Children(i int) []int {
+	var out []int
+	for k := 0; k < p.n; k++ {
+		if p.dir[i][k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// UndirectedNeighbors returns all k with i - k.
+func (p *PDAG) UndirectedNeighbors(i int) []int {
+	var out []int
+	for k := 0; k < p.n; k++ {
+		if p.und[i][k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// AdjacentNodes returns all nodes connected to i by any edge.
+func (p *PDAG) AdjacentNodes(i int) []int {
+	var out []int
+	for k := 0; k < p.n; k++ {
+		if p.Adjacent(i, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// UndirectedEdge returns some undirected edge (i < j) and true, or false if
+// the graph is fully directed.
+func (p *PDAG) UndirectedEdge() (int, int, bool) {
+	for i := 0; i < p.n; i++ {
+		for j := i + 1; j < p.n; j++ {
+			if p.und[i][j] {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// NumEdges counts edges of both kinds.
+func (p *PDAG) NumEdges() (directed, undirected int) {
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.n; j++ {
+			if p.dir[i][j] {
+				directed++
+			}
+			if j > i && p.und[i][j] {
+				undirected++
+			}
+		}
+	}
+	return directed, undirected
+}
+
+// HasDirectedCycle reports whether the directed part contains a cycle
+// (undirected edges are ignored).
+func (p *PDAG) HasDirectedCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, p.n)
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for v := 0; v < p.n; v++ {
+			if !p.dir[u][v] {
+				continue
+			}
+			if color[v] == gray {
+				return true
+			}
+			if color[v] == white && visit(v) {
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < p.n; u++ {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// ToDAG converts a fully directed PDAG into a DAG; it returns an error if
+// undirected edges remain or a cycle exists.
+func (p *PDAG) ToDAG() (*DAG, error) {
+	if _, _, ok := p.UndirectedEdge(); ok {
+		return nil, fmt.Errorf("graph: PDAG still has undirected edges")
+	}
+	if p.HasDirectedCycle() {
+		return nil, fmt.Errorf("graph: directed part is cyclic")
+	}
+	d := NewDAG(p.n)
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.n; j++ {
+			if p.dir[i][j] {
+				if err := d.AddEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// String renders the PDAG compactly, e.g. "0->1, 1-2".
+func (p *PDAG) String() string {
+	var parts []string
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.n; j++ {
+			if p.dir[i][j] {
+				parts = append(parts, fmt.Sprintf("%d->%d", i, j))
+			}
+			if j > i && p.und[i][j] {
+				parts = append(parts, fmt.Sprintf("%d-%d", i, j))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// DAG is a directed acyclic graph with adjacency-matrix representation.
+type DAG struct {
+	n   int
+	adj [][]bool // adj[i][j]: edge i -> j
+}
+
+// NewDAG creates an edgeless DAG on n nodes.
+func NewDAG(n int) *DAG {
+	d := &DAG{n: n, adj: make([][]bool, n)}
+	for i := range d.adj {
+		d.adj[i] = make([]bool, n)
+	}
+	return d
+}
+
+// N reports the number of nodes.
+func (d *DAG) N() int { return d.n }
+
+// AddEdge inserts i -> j, rejecting self-loops and edges that close a cycle.
+func (d *DAG) AddEdge(i, j int) error {
+	if i == j {
+		return fmt.Errorf("graph: self-loop %d", i)
+	}
+	if d.reachable(j, i) {
+		return fmt.Errorf("graph: edge %d->%d would create a cycle", i, j)
+	}
+	d.adj[i][j] = true
+	return nil
+}
+
+// HasEdge reports whether i -> j exists.
+func (d *DAG) HasEdge(i, j int) bool { return d.adj[i][j] }
+
+// Parents returns all k with k -> i.
+func (d *DAG) Parents(i int) []int {
+	var out []int
+	for k := 0; k < d.n; k++ {
+		if d.adj[k][i] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Children returns all k with i -> k.
+func (d *DAG) Children(i int) []int {
+	var out []int
+	for k := 0; k < d.n; k++ {
+		if d.adj[i][k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// NumEdges counts the edges.
+func (d *DAG) NumEdges() int {
+	n := 0
+	for i := range d.adj {
+		for j := range d.adj[i] {
+			if d.adj[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// reachable reports whether v is reachable from u along directed edges.
+func (d *DAG) reachable(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, d.n)
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := 0; y < d.n; y++ {
+			if d.adj[x][y] && !seen[y] {
+				if y == v {
+					return true
+				}
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// TopoSort returns a topological order of the nodes.
+func (d *DAG) TopoSort() ([]int, error) {
+	indeg := make([]int, d.n)
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if d.adj[i][j] {
+				indeg[j]++
+			}
+		}
+	}
+	var queue []int
+	for i := 0; i < d.n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for v := 0; v < d.n; v++ {
+			if d.adj[u][v] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if len(order) != d.n {
+		return nil, fmt.Errorf("graph: cycle detected in DAG")
+	}
+	return order, nil
+}
+
+// String renders the DAG as its sorted edge list.
+func (d *DAG) String() string {
+	var parts []string
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if d.adj[i][j] {
+				parts = append(parts, fmt.Sprintf("%d->%d", i, j))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// Key returns a canonical string identifying the DAG's edge set, usable as
+// a map key for dedup in enumeration tests.
+func (d *DAG) Key() string { return d.String() }

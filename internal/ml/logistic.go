@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// Logistic is a one-vs-rest multinomial logistic-regression classifier over
+// one-hot-encoded categorical features, trained with deterministic
+// full-batch gradient descent. Together with the naive Bayes and decision
+// tree models it mirrors the model diversity of the paper's autogluon
+// ensemble ("NN, tree-based models, etc.").
+type Logistic struct {
+	label      int
+	numClasses int
+	offsets    []int // feature offset per attribute (-1 for the label)
+	dim        int
+	weights    [][]float64 // per class: dim+1 (bias last)
+}
+
+// LogisticOptions tunes training.
+type LogisticOptions struct {
+	// Epochs of full-batch gradient descent (default 50).
+	Epochs int
+	// LearningRate (default 0.5).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+}
+
+func (o *LogisticOptions) defaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 50
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.5
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+}
+
+// TrainLogistic fits the classifier on rel predicting labelAttr.
+func TrainLogistic(rel *dataset.Relation, labelAttr int, opts LogisticOptions) (*Logistic, error) {
+	opts.defaults()
+	n := rel.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty training relation")
+	}
+	if labelAttr < 0 || labelAttr >= rel.NumAttrs() {
+		return nil, fmt.Errorf("ml: label attribute %d out of range", labelAttr)
+	}
+	k := rel.Cardinality(labelAttr)
+	if k < 2 {
+		return nil, fmt.Errorf("ml: label has %d classes", k)
+	}
+	m := rel.NumAttrs()
+	lr := &Logistic{label: labelAttr, numClasses: k, offsets: make([]int, m)}
+	dim := 0
+	for a := 0; a < m; a++ {
+		if a == labelAttr {
+			lr.offsets[a] = -1
+			continue
+		}
+		lr.offsets[a] = dim
+		dim += rel.Cardinality(a) + 1 // +1 missing slot
+	}
+	lr.dim = dim
+	lr.weights = make([][]float64, k)
+	for c := range lr.weights {
+		lr.weights[c] = make([]float64, dim+1)
+	}
+
+	labels := rel.Column(labelAttr)
+	// Feature index list per row (sparse one-hot).
+	features := make([][]int, n)
+	row := make([]int32, m)
+	for i := 0; i < n; i++ {
+		row = rel.Row(i, row)
+		features[i] = lr.featureIdx(row, nil)
+	}
+	grad := make([]float64, dim+1)
+	invN := 1 / float64(n)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for c := 0; c < k; c++ {
+			w := lr.weights[c]
+			for j := range grad {
+				grad[j] = 0
+			}
+			for i := 0; i < n; i++ {
+				z := w[dim]
+				for _, f := range features[i] {
+					z += w[f]
+				}
+				p := sigmoid(z)
+				y := 0.0
+				if labels[i] == int32(c) {
+					y = 1
+				}
+				d := (p - y) * invN
+				for _, f := range features[i] {
+					grad[f] += d
+				}
+				grad[dim] += d
+			}
+			for j := 0; j <= dim; j++ {
+				w[j] -= opts.LearningRate * (grad[j] + opts.L2*w[j])
+			}
+		}
+	}
+	return lr, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// featureIdx maps a row to its active one-hot feature indices.
+func (lr *Logistic) featureIdx(row []int32, buf []int) []int {
+	buf = buf[:0]
+	for a, off := range lr.offsets {
+		if off < 0 {
+			continue
+		}
+		v := row[a]
+		width := lr.width(a)
+		if v < 0 || int(v) >= width-1 {
+			buf = append(buf, off+width-1) // missing / unseen slot
+		} else {
+			buf = append(buf, off+int(v))
+		}
+	}
+	return buf
+}
+
+// width returns attribute a's one-hot width (cardinality + missing slot).
+func (lr *Logistic) width(a int) int {
+	next := lr.dim
+	for b := a + 1; b < len(lr.offsets); b++ {
+		if lr.offsets[b] >= 0 {
+			next = lr.offsets[b]
+			break
+		}
+	}
+	return next - lr.offsets[a]
+}
+
+// Label returns the predicted attribute index.
+func (lr *Logistic) Label() int { return lr.label }
+
+// Predict returns the class with the highest one-vs-rest score.
+func (lr *Logistic) Predict(row []int32) int32 {
+	feats := lr.featureIdx(row, nil)
+	best, bestZ := int32(0), math.Inf(-1)
+	for c := 0; c < lr.numClasses; c++ {
+		w := lr.weights[c]
+		z := w[lr.dim]
+		for _, f := range feats {
+			z += w[f]
+		}
+		if z > bestZ {
+			best, bestZ = int32(c), z
+		}
+	}
+	return best
+}

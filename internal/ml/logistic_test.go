@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+func TestLogisticLearnsSignal(t *testing.T) {
+	train, test, label := hospitalSplit(t)
+	lr, err := TrainLogistic(train, label, LogisticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(lr, test); acc < 0.7 {
+		t.Fatalf("logistic accuracy = %g", acc)
+	}
+	if lr.Label() != label {
+		t.Fatal("label mismatch")
+	}
+}
+
+func TestLogisticSeparableData(t *testing.T) {
+	rel := dataset.New("t", []string{"x", "y"})
+	for i := 0; i < 50; i++ {
+		rel.AppendRow([]string{"a", "p"})
+		rel.AppendRow([]string{"b", "q"})
+		rel.AppendRow([]string{"c", "q"})
+	}
+	lr, err := TrainLogistic(rel, 1, LogisticOptions{Epochs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(lr, rel); acc < 0.99 {
+		t.Fatalf("separable accuracy = %g", acc)
+	}
+}
+
+func TestLogisticUnseenAndMissingValues(t *testing.T) {
+	rel := dataset.New("t", []string{"x", "y"})
+	rel.AppendRow([]string{"a", "p"})
+	rel.AppendRow([]string{"b", "q"})
+	rel.AppendRow([]string{"a", "p"})
+	rel.AppendRow([]string{"b", "q"})
+	lr, err := TrainLogistic(rel, 1, LogisticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen code and missing must route to the spare slot, not panic.
+	_ = lr.Predict([]int32{99, 0})
+	_ = lr.Predict([]int32{dataset.Missing, 0})
+}
+
+func TestLogisticErrors(t *testing.T) {
+	empty := dataset.New("e", []string{"a", "b"})
+	if _, err := TrainLogistic(empty, 1, LogisticOptions{}); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+	rel := dataset.New("one", []string{"a", "b"})
+	rel.AppendRow([]string{"x", "y"})
+	if _, err := TrainLogistic(rel, 9, LogisticOptions{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := TrainLogistic(rel, 1, LogisticOptions{}); err == nil {
+		t.Fatal("single-class label accepted")
+	}
+}
+
+func TestLogisticDeterministic(t *testing.T) {
+	train, test, label := hospitalSplit(t)
+	a, err := TrainLogistic(train, label, LogisticOptions{Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainLogistic(train, label, LogisticOptions{Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]int32, test.NumAttrs())
+	for i := 0; i < 50 && i < test.NumRows(); i++ {
+		row = test.Row(i, row)
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatalf("non-deterministic at row %d", i)
+		}
+	}
+}
+
+func TestEnsembleWithLogistic(t *testing.T) {
+	train, test, label := hospitalSplit(t)
+	nb, err := TrainNaiveBayes(train, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TrainTree(train, label, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := TrainLogistic(train, label, LogisticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := NewEnsemble(label, nb, tr, lr)
+	if acc := Accuracy(ens, test); acc < 0.7 {
+		t.Fatalf("3-model ensemble accuracy = %g", acc)
+	}
+}

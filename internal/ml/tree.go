@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// Tree is a depth-limited ID3-style decision tree over categorical
+// attributes.
+type Tree struct {
+	label int
+	root  *treeNode
+}
+
+type treeNode struct {
+	// leaf prediction when children is nil.
+	pred int32
+	// split attribute and per-value children otherwise.
+	attr     int
+	children map[int32]*treeNode
+	fallback int32 // prediction for unseen split values
+}
+
+// TrainTree fits a decision tree of at most maxDepth splits.
+func TrainTree(rel *dataset.Relation, labelAttr, maxDepth int) (*Tree, error) {
+	n := rel.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty training relation")
+	}
+	if labelAttr < 0 || labelAttr >= rel.NumAttrs() {
+		return nil, fmt.Errorf("ml: label attribute %d out of range", labelAttr)
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	used := make([]bool, rel.NumAttrs())
+	used[labelAttr] = true
+	t := &Tree{label: labelAttr}
+	t.root = buildNode(rel, labelAttr, rows, used, maxDepth)
+	return t, nil
+}
+
+// Label returns the predicted attribute index.
+func (t *Tree) Label() int { return t.label }
+
+// Predict walks the tree.
+func (t *Tree) Predict(row []int32) int32 {
+	nd := t.root
+	for nd.children != nil {
+		child, ok := nd.children[row[nd.attr]]
+		if !ok {
+			return nd.fallback
+		}
+		nd = child
+	}
+	return nd.pred
+}
+
+func buildNode(rel *dataset.Relation, label int, rows []int, used []bool, depth int) *treeNode {
+	mode := modeOf(rel.Column(label), rows)
+	if depth == 0 || len(rows) < 4 || pure(rel.Column(label), rows) {
+		return &treeNode{pred: mode}
+	}
+	bestAttr, bestGain := -1, 1e-9
+	base := entropyOf(rel.Column(label), rows)
+	for a := 0; a < rel.NumAttrs(); a++ {
+		if used[a] {
+			continue
+		}
+		gain := base - splitEntropy(rel, label, a, rows)
+		if gain > bestGain {
+			bestAttr, bestGain = a, gain
+		}
+	}
+	if bestAttr < 0 {
+		return &treeNode{pred: mode}
+	}
+	groups := map[int32][]int{}
+	col := rel.Column(bestAttr)
+	for _, r := range rows {
+		groups[col[r]] = append(groups[col[r]], r)
+	}
+	used[bestAttr] = true
+	nd := &treeNode{attr: bestAttr, fallback: mode, children: map[int32]*treeNode{}}
+	for v, g := range groups {
+		nd.children[v] = buildNode(rel, label, g, used, depth-1)
+	}
+	used[bestAttr] = false
+	return nd
+}
+
+func modeOf(col []int32, rows []int) int32 {
+	counts := map[int32]int{}
+	best, bestC := int32(0), -1
+	for _, r := range rows {
+		counts[col[r]]++
+		if c := counts[col[r]]; c > bestC || (c == bestC && col[r] < best) {
+			best, bestC = col[r], c
+		}
+	}
+	return best
+}
+
+func pure(col []int32, rows []int) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	first := col[rows[0]]
+	for _, r := range rows[1:] {
+		if col[r] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func entropyOf(col []int32, rows []int) float64 {
+	counts := map[int32]int{}
+	for _, r := range rows {
+		counts[col[r]]++
+	}
+	n := float64(len(rows))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func splitEntropy(rel *dataset.Relation, label, attr int, rows []int) float64 {
+	groups := map[int32][]int{}
+	col := rel.Column(attr)
+	for _, r := range rows {
+		groups[col[r]] = append(groups[col[r]], r)
+	}
+	n := float64(len(rows))
+	labelCol := rel.Column(label)
+	var h float64
+	for _, g := range groups {
+		h += float64(len(g)) / n * entropyOf(labelCol, g)
+	}
+	return h
+}

@@ -1,0 +1,206 @@
+// Package pc implements the PC structure-learning algorithm used by
+// Guardrail's sketch learner (§4): starting from a complete undirected
+// graph, it deletes edges between conditionally independent variables with
+// conditioning sets of growing size, records separation sets, orients
+// v-structures, and closes under the Meek rules, producing the CPDAG that
+// represents the Markov equivalence class of the data's PGM.
+package pc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/stats"
+)
+
+// Options tunes the learner.
+type Options struct {
+	// Alpha is the significance level of the G² tests (default 0.01).
+	Alpha float64
+	// MaxCond caps the conditioning-set size (default 3).
+	MaxCond int
+	// MaxCard skips variables with more categories than this when forming
+	// conditioning sets, a standard guard against sparse strata (default 64).
+	MaxCard int
+}
+
+func (o *Options) defaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.01
+	}
+	if o.MaxCond == 0 {
+		o.MaxCond = 3
+	}
+	if o.MaxCard == 0 {
+		o.MaxCard = 64
+	}
+}
+
+// Result carries the learned structure and bookkeeping for reporting.
+type Result struct {
+	// CPDAG is the learned equivalence class.
+	CPDAG *graph.PDAG
+	// Skeleton is the undirected graph before orientation.
+	Skeleton *graph.PDAG
+	// SepSets maps graph.PairKey(a,b) to the separating set that removed
+	// the edge a-b.
+	SepSets map[int64][]int
+	// Tests counts the independence tests performed.
+	Tests int
+}
+
+// Learn runs the PC algorithm over d.
+func Learn(d stats.Data, opts Options) (*Result, error) {
+	opts.defaults()
+	n := d.NumVars()
+	if n == 0 {
+		return nil, fmt.Errorf("pc: no variables")
+	}
+	skel := graph.NewPDAG(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			skel.AddUndirected(i, j)
+		}
+	}
+	sep := make(map[int64][]int)
+	tests := 0
+
+	for level := 0; level <= opts.MaxCond; level++ {
+		// Collect the current adjacency before this level's deletions, as
+		// in the stable PC variant, so results do not depend on edge order.
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			adj[i] = skel.UndirectedNeighbors(i)
+		}
+		removedAny := false
+		for i := 0; i < n; i++ {
+			for _, j := range adj[i] {
+				if j < i || !skel.HasUndirected(i, j) {
+					continue
+				}
+				// Candidate conditioning sets: subsets of adj(i)\{j} and
+				// adj(j)\{i} of the current level size.
+				if removeEdge(d, skel, sep, i, j, adj, level, opts, &tests) {
+					removedAny = true
+				}
+			}
+		}
+		if !removedAny && level > 0 {
+			break
+		}
+	}
+
+	cp := graph.OrientVStructures(skel, sep)
+	graph.MeekClose(cp)
+	return &Result{CPDAG: cp, Skeleton: skel, SepSets: sep, Tests: tests}, nil
+}
+
+// removeEdge tests i ⟂ j | S for all size-level subsets S of each
+// endpoint's neighborhood; on the first independence it deletes the edge
+// and records the sepset.
+func removeEdge(d stats.Data, skel *graph.PDAG, sep map[int64][]int, i, j int, adj [][]int, level int, opts Options, tests *int) bool {
+	for _, base := range [2][2]int{{i, j}, {j, i}} {
+		cands := filterCard(d, exclude(adj[base[0]], base[1]), opts.MaxCard)
+		if len(cands) < level {
+			continue
+		}
+		found := false
+		forEachSubset(cands, level, func(s []int) bool {
+			*tests++
+			res, err := stats.GTest(d, i, j, s)
+			if err != nil {
+				return true // skip malformed set, keep searching
+			}
+			if res.Independent(opts.Alpha) {
+				skel.RemoveEdge(i, j)
+				sep[graph.PairKey(i, j)] = append([]int(nil), s...)
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+		if base[0] == j && base[1] == i && sameSet(adj[i], adj[j], i, j) {
+			break // symmetric neighborhoods: second pass is redundant
+		}
+	}
+	return false
+}
+
+func exclude(xs []int, v int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func filterCard(d stats.Data, xs []int, maxCard int) []int {
+	out := xs[:0:0]
+	for _, x := range xs {
+		if d.Card(x) <= maxCard {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []int, skipA, skipB int) bool {
+	fa := exclude(a, skipB)
+	fb := exclude(b, skipA)
+	if len(fa) != len(fb) {
+		return false
+	}
+	sa := append([]int(nil), fa...)
+	sb := append([]int(nil), fb...)
+	sort.Ints(sa)
+	sort.Ints(sb)
+	for k := range sa {
+		if sa[k] != sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubset invokes f on every size-k subset of xs until f returns
+// false.
+func forEachSubset(xs []int, k int, f func([]int) bool) {
+	if k == 0 {
+		f(nil)
+		return
+	}
+	if k > len(xs) {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make([]int, k)
+	for {
+		for i, v := range idx {
+			buf[i] = xs[v]
+		}
+		if !f(buf) {
+			return
+		}
+		// Advance the combination.
+		i := k - 1
+		for i >= 0 && idx[i] == len(xs)-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

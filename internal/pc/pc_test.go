@@ -1,0 +1,193 @@
+package pc
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/graph"
+)
+
+func learnFromNetwork(t *testing.T, nw *bn.Network, n int, seed int64, opts Options) *Result {
+	t.Helper()
+	rel, err := nw.Sample(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(auxdist.Identity(rel), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLearnChainSkeleton(t *testing.T) {
+	// x -> y -> z chain: skeleton must be x-y, y-z with no x-z edge.
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "x", Card: 3, CPT: []float64{0.3, 0.3, 0.4}},
+		{Name: "y", Card: 3, Parents: []int{0}, CPT: []float64{
+			0.85, 0.1, 0.05,
+			0.05, 0.9, 0.05,
+			0.1, 0.05, 0.85,
+		}},
+		{Name: "z", Card: 3, Parents: []int{1}, CPT: []float64{
+			0.9, 0.05, 0.05,
+			0.05, 0.9, 0.05,
+			0.05, 0.05, 0.9,
+		}},
+	}}
+	res := learnFromNetwork(t, nw, 8000, 1, Options{})
+	if !res.Skeleton.HasUndirected(0, 1) || !res.Skeleton.HasUndirected(1, 2) {
+		t.Fatalf("chain edges missing: %s", res.Skeleton)
+	}
+	if res.Skeleton.Adjacent(0, 2) {
+		t.Fatalf("indirect edge x-z not removed: %s", res.Skeleton)
+	}
+	// The chain has no v-structure, so the CPDAG stays undirected.
+	if res.CPDAG.HasDirected(0, 1) && res.CPDAG.HasDirected(1, 0) {
+		t.Fatalf("chain should not be fully compelled: %s", res.CPDAG)
+	}
+}
+
+func TestLearnColliderOrientation(t *testing.T) {
+	// x -> z <- y with x, y independent roots: PC must orient the collider.
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "x", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "y", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "z", Card: 2, Parents: []int{0, 1}, CPT: []float64{
+			0.95, 0.05, // x=0,y=0 -> z mostly 0
+			0.6, 0.4,
+			0.6, 0.4,
+			0.05, 0.95, // x=1,y=1 -> z mostly 1
+		}},
+	}}
+	res := learnFromNetwork(t, nw, 10000, 2, Options{})
+	if !res.CPDAG.HasDirected(0, 2) || !res.CPDAG.HasDirected(1, 2) {
+		t.Fatalf("collider not oriented: %s", res.CPDAG)
+	}
+	if res.CPDAG.Adjacent(0, 1) {
+		t.Fatalf("spurious x-y edge: %s", res.CPDAG)
+	}
+}
+
+func TestLearnCancerRecovery(t *testing.T) {
+	// On generous samples the Cancer network's skeleton should be close to
+	// the truth: cancer adjacent to xray and dysp, and no xray-dysp edge.
+	res := learnFromNetwork(t, bn.Cancer(), 20000, 3, Options{Alpha: 0.01})
+	cancer, xray, dysp := 2, 3, 4
+	if !res.Skeleton.Adjacent(cancer, xray) {
+		t.Fatalf("cancer-xray edge missing: %s", res.Skeleton)
+	}
+	if !res.Skeleton.Adjacent(cancer, dysp) {
+		t.Fatalf("cancer-dysp edge missing: %s", res.Skeleton)
+	}
+	if res.Skeleton.Adjacent(xray, dysp) {
+		t.Fatalf("xray-dysp edge not screened off by cancer: %s", res.Skeleton)
+	}
+}
+
+func TestLearnOnAuxiliaryDistribution(t *testing.T) {
+	// The auxiliary transform preserves CI structure (Prop. 5); a
+	// deterministic chain learned over aux samples keeps the chain skeleton.
+	nw := bn.PostalChain(12)
+	rel, err := nw.Sample(4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Shifts: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Learn(aux, Options{Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Skeleton.Adjacent(0, 1) || !res.Skeleton.Adjacent(1, 2) || !res.Skeleton.Adjacent(2, 3) {
+		t.Fatalf("chain edges missing on aux data: %s", res.Skeleton)
+	}
+	if res.Skeleton.Adjacent(0, 2) || res.Skeleton.Adjacent(0, 3) || res.Skeleton.Adjacent(1, 3) {
+		t.Fatalf("transitive edges not removed on aux data: %s", res.Skeleton)
+	}
+}
+
+func TestLearnIndependentVars(t *testing.T) {
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "a", Card: 3, CPT: []float64{0.2, 0.3, 0.5}},
+		{Name: "b", Card: 2, CPT: []float64{0.6, 0.4}},
+		{Name: "c", Card: 4, CPT: []float64{0.25, 0.25, 0.25, 0.25}},
+	}}
+	res := learnFromNetwork(t, nw, 5000, 5, Options{Alpha: 0.001})
+	if d, u := res.CPDAG.NumEdges(); d+u != 0 {
+		t.Fatalf("independent vars produced edges: %s", res.CPDAG)
+	}
+}
+
+func TestLearnErrorsAndCounters(t *testing.T) {
+	if _, err := Learn(&auxdist.Binary{}, Options{}); err == nil {
+		t.Fatal("expected error on zero variables")
+	}
+	res := learnFromNetwork(t, bn.Cancer(), 2000, 6, Options{})
+	if res.Tests <= 0 {
+		t.Fatal("test counter not incremented")
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	var got [][]int
+	forEachSubset([]int{1, 2, 3}, 2, func(s []int) bool {
+		got = append(got, append([]int(nil), s...))
+		return true
+	})
+	want := [][]int{{1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// k = 0 visits the empty set exactly once.
+	count := 0
+	forEachSubset([]int{1, 2}, 0, func(s []int) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("empty subset visited %d times", count)
+	}
+	// Early stop.
+	count = 0
+	forEachSubset([]int{1, 2, 3, 4}, 1, func(s []int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+	// k > len yields nothing.
+	forEachSubset([]int{1}, 2, func(s []int) bool { t.Fatal("unexpected subset"); return false })
+}
+
+func TestLearnedMECContainsTruth(t *testing.T) {
+	// For the collider network, the MEC has exactly one member — the truth.
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "x", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "y", Card: 2, CPT: []float64{0.5, 0.5}},
+		{Name: "z", Card: 2, Parents: []int{0, 1}, CPT: []float64{
+			0.95, 0.05,
+			0.6, 0.4,
+			0.6, 0.4,
+			0.05, 0.95,
+		}},
+	}}
+	res := learnFromNetwork(t, nw, 10000, 7, Options{})
+	dags, err := graph.EnumerateMEC(res.CPDAG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := nw.TrueDAG()
+	found := false
+	for _, d := range dags {
+		if d.Key() == truth.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("true DAG %s not in learned MEC (size %d)", truth, len(dags))
+	}
+}

@@ -1,0 +1,94 @@
+package pc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+)
+
+func TestLearnStableRecoversAsiaCollider(t *testing.T) {
+	rel, err := bn.Asia().Sample(8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LearnStable(auxdist.Identity(rel), StableOptions{
+		Options: Options{Alpha: 0.01, MaxCond: 2},
+		Rounds:  8,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tub, lung, either := 2, 3, 5
+	if !res.Skeleton.Adjacent(tub, either) || !res.Skeleton.Adjacent(lung, either) {
+		t.Fatalf("collider edges missing: %s", res.Skeleton)
+	}
+}
+
+func TestLearnStableNoFewerSpuriousEdges(t *testing.T) {
+	// On independent attributes the stable learner must keep the skeleton
+	// (near-)empty — at worst as sparse as a single run.
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "a", Card: 3, CPT: []float64{0.3, 0.3, 0.4}},
+		{Name: "b", Card: 3, CPT: []float64{0.2, 0.5, 0.3}},
+		{Name: "c", Card: 2, CPT: []float64{0.6, 0.4}},
+		{Name: "d", Card: 4, CPT: []float64{0.25, 0.25, 0.25, 0.25}},
+	}}
+	rel, err := nw.Sample(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LearnStable(auxdist.Identity(rel), StableOptions{
+		Options: Options{Alpha: 0.05, MaxCond: 2},
+		Rounds:  8,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, u := res.Skeleton.NumEdges(); d+u > 1 {
+		t.Fatalf("stable skeleton has %d spurious edges: %s", d+u, res.Skeleton)
+	}
+}
+
+func TestLearnStableDeterministicPerSeed(t *testing.T) {
+	rel, err := bn.PostalChain(8).Sample(1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LearnStable(auxdist.Identity(rel), StableOptions{Rounds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LearnStable(auxdist.Identity(rel), StableOptions{Rounds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Skeleton.String() != b.Skeleton.String() {
+		t.Fatalf("not deterministic:\n%s\nvs\n%s", a.Skeleton, b.Skeleton)
+	}
+}
+
+func TestResampleView(t *testing.T) {
+	rel, err := bn.PostalChain(8).Sample(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := auxdist.Identity(rel)
+	r := newResample(base, randSource(5))
+	if r.N() != base.N() || r.NumVars() != base.NumVars() {
+		t.Fatal("resample shape mismatch")
+	}
+	col := r.Codes(0)
+	if len(col) != base.N() {
+		t.Fatal("resampled column length wrong")
+	}
+	// Codes are cached: second call returns the same slice.
+	if &r.Codes(0)[0] != &col[0] {
+		t.Fatal("resample column not cached")
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,211 @@
+// Package repair implements holistic row repair on top of the DSL: where
+// core.Rectify fixes each violated statement independently (and, as the
+// paper's Appendix F case study notes, can be defeated when several cells
+// of one row are corrupted), the holistic repairer searches for a minimal
+// set of cell edits that makes the whole row consistent with the program.
+// This is the natural extension of the paper's rectify strategy and is
+// exposed as a fifth strategy for the guard.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxEdits caps the repair size (default 2): a repair that rewrites
+	// more than MaxEdits cells is rejected as implausible.
+	MaxEdits int
+	// MaxCandidates caps the candidate values tried per cell (default 8),
+	// taken from the values the program's branches mention for that
+	// attribute.
+	MaxCandidates int
+}
+
+func (o *Options) defaults() {
+	if o.MaxEdits == 0 {
+		o.MaxEdits = 2
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 8
+	}
+}
+
+// Edit is one proposed cell change.
+type Edit struct {
+	Attr int
+	From int32
+	To   int32
+}
+
+// Repairer precomputes per-attribute candidate values from a program.
+type Repairer struct {
+	prog       *dsl.Program
+	opts       Options
+	candidates map[int][]int32 // attr -> candidate codes, deterministic order
+	attrs      []int           // attrs mentioned anywhere in the program
+}
+
+// New builds a repairer for prog.
+func New(prog *dsl.Program, opts Options) *Repairer {
+	opts.defaults()
+	cands := map[int]map[int32]int{} // attr -> code -> weight (mention count)
+	bump := func(attr int, v int32) {
+		m := cands[attr]
+		if m == nil {
+			m = map[int32]int{}
+			cands[attr] = m
+		}
+		m[v]++
+	}
+	for _, s := range prog.Stmts {
+		for _, b := range s.Branches {
+			bump(s.On, b.Value)
+			for _, p := range b.Cond {
+				bump(p.Attr, p.Value)
+			}
+		}
+	}
+	r := &Repairer{prog: prog, opts: opts, candidates: map[int][]int32{}}
+	for attr, m := range cands {
+		type wv struct {
+			v int32
+			w int
+		}
+		list := make([]wv, 0, len(m))
+		for v, w := range m {
+			list = append(list, wv{v, w})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].w != list[j].w {
+				return list[i].w > list[j].w
+			}
+			return list[i].v < list[j].v
+		})
+		if len(list) > opts.MaxCandidates {
+			list = list[:opts.MaxCandidates]
+		}
+		codes := make([]int32, len(list))
+		for i, e := range list {
+			codes[i] = e.v
+		}
+		r.candidates[attr] = codes
+		r.attrs = append(r.attrs, attr)
+	}
+	sort.Ints(r.attrs)
+	return r
+}
+
+// violationCount counts statement violations of row.
+func (r *Repairer) violationCount(row []int32) int {
+	return len(r.prog.Detect(row))
+}
+
+// Repair searches for the smallest edit set (up to MaxEdits cells) that
+// leaves row violation-free, preferring (a) fewer edits, (b) edits whose
+// candidate values are mentioned more often by the program. On success the
+// row is modified in place and the edits returned; ok is false when no
+// bounded repair exists (the row is left untouched).
+func (r *Repairer) Repair(row []int32) (edits []Edit, ok bool) {
+	if r.violationCount(row) == 0 {
+		return nil, true
+	}
+	work := append([]int32(nil), row...)
+	best := r.search(work, nil, r.opts.MaxEdits)
+	if best == nil {
+		return nil, false
+	}
+	for _, e := range best {
+		row[e.Attr] = e.To
+	}
+	return best, true
+}
+
+// search tries edit sets of increasing size over the attributes involved
+// in current violations (and their statements' determinants), depth-first
+// with the budget as depth bound. Candidate order encodes preference, and
+// the first full repair found at the shallowest depth wins.
+func (r *Repairer) search(row []int32, acc []Edit, budget int) []Edit {
+	vs := r.prog.Detect(row)
+	if len(vs) == 0 {
+		return append([]Edit(nil), acc...)
+	}
+	if budget == 0 {
+		return nil
+	}
+	// Attributes worth editing: the violated dependents and the
+	// determinants of violated statements.
+	touch := map[int]bool{}
+	for _, v := range vs {
+		touch[v.Attr] = true
+		for _, g := range r.prog.Stmts[v.Stmt].Given {
+			touch[g] = true
+		}
+	}
+	attrs := make([]int, 0, len(touch))
+	for a := range touch {
+		if edited(acc, a) {
+			continue
+		}
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	for depth := 1; depth <= budget; depth++ {
+		for _, a := range attrs {
+			orig := row[a]
+			for _, cand := range r.candidates[a] {
+				if cand == orig {
+					continue
+				}
+				row[a] = cand
+				if res := r.search(row, append(acc, Edit{Attr: a, From: orig, To: cand}), depth-1); res != nil {
+					row[a] = orig
+					return res
+				}
+			}
+			row[a] = orig
+		}
+	}
+	return nil
+}
+
+func edited(acc []Edit, attr int) bool {
+	for _, e := range acc {
+		if e.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply runs holistic repair over every row of rel, returning per-row
+// outcomes: the number of repaired rows and rows left unrepairable.
+func (r *Repairer) Apply(rel *dataset.Relation) (repaired, unrepairable int, err error) {
+	row := make([]int32, rel.NumAttrs())
+	for i := 0; i < rel.NumRows(); i++ {
+		row = rel.Row(i, row)
+		if len(r.prog.Detect(row)) == 0 {
+			continue
+		}
+		edits, ok := r.Repair(row)
+		if !ok {
+			unrepairable++
+			continue
+		}
+		repaired++
+		for _, e := range edits {
+			rel.SetCode(i, e.Attr, e.To)
+		}
+	}
+	return repaired, unrepairable, nil
+}
+
+// Explain renders an edit with names from schema.
+func Explain(e Edit, schema *dataset.Relation) string {
+	return fmt.Sprintf("%s: %q -> %q", schema.Attr(e.Attr),
+		schema.Dict(e.Attr).Value(e.From), schema.Dict(e.Attr).Value(e.To))
+}

@@ -1,0 +1,155 @@
+package repair
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/errgen"
+)
+
+// chainFixture synthesizes the postal-chain program and returns program +
+// relation.
+func chainFixture(t *testing.T) (*dsl.Program, *dataset.Relation) {
+	t.Helper()
+	rel, err := bn.PostalChain(8).Sample(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(rel, core.Options{Epsilon: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Stmts) < 2 {
+		t.Fatalf("fixture synthesized only %d statements", len(res.Program.Stmts))
+	}
+	return res.Program, rel
+}
+
+func TestRepairCleanRowIsNoop(t *testing.T) {
+	prog, rel := chainFixture(t)
+	r := New(prog, Options{})
+	row := rel.Row(0, nil)
+	before := append([]int32(nil), row...)
+	edits, ok := r.Repair(row)
+	if !ok || len(edits) != 0 {
+		t.Fatalf("clean row repaired: %v ok=%v", edits, ok)
+	}
+	for i := range row {
+		if row[i] != before[i] {
+			t.Fatal("clean row mutated")
+		}
+	}
+}
+
+func TestRepairSingleCorruption(t *testing.T) {
+	prog, rel := chainFixture(t)
+	r := New(prog, Options{})
+	row := rel.Row(0, nil)
+	want := row[1]
+	row[1] = rel.Intern(1, "gibbon")
+	edits, ok := r.Repair(row)
+	if !ok {
+		t.Fatal("single corruption not repaired")
+	}
+	if len(edits) != 1 || edits[0].Attr != 1 {
+		t.Fatalf("edits = %v", edits)
+	}
+	if row[1] != want {
+		t.Fatalf("repaired to %d, want %d", row[1], want)
+	}
+	if len(prog.Detect(row)) != 0 {
+		t.Fatal("row still violates after repair")
+	}
+}
+
+func TestRepairDoubleCorruption(t *testing.T) {
+	// The Appendix F scenario: corrupt a cell and its determinant; plain
+	// per-statement rectify fixes one and may leave an inconsistency, the
+	// holistic repair makes the whole row consistent.
+	prog, rel := chainFixture(t)
+	r := New(prog, Options{MaxEdits: 2})
+	row := rel.Row(0, nil)
+	row[1] = rel.Intern(1, "gibbon1") // City corrupted
+	row[2] = rel.Intern(2, "gibbon2") // State corrupted too
+	if _, ok := r.Repair(row); !ok {
+		t.Fatal("double corruption not repaired within 2 edits")
+	}
+	if len(prog.Detect(row)) != 0 {
+		t.Fatal("row inconsistent after holistic repair")
+	}
+}
+
+func TestRepairBudgetRespected(t *testing.T) {
+	prog, rel := chainFixture(t)
+	r := New(prog, Options{MaxEdits: 1})
+	row := rel.Row(0, nil)
+	row[1] = rel.Intern(1, "x1")
+	row[2] = rel.Intern(2, "x2")
+	row[3] = rel.Intern(3, "x3")
+	before := append([]int32(nil), row...)
+	if _, ok := r.Repair(row); ok {
+		// A 1-edit repair of a triple corruption is only possible if the
+		// program does not govern all three cells; in that case the row
+		// must at least be consistent now.
+		if len(prog.Detect(row)) != 0 {
+			t.Fatal("claimed repair leaves violations")
+		}
+		return
+	}
+	for i := range row {
+		if row[i] != before[i] {
+			t.Fatal("failed repair mutated the row")
+		}
+	}
+}
+
+func TestApplyOverRelation(t *testing.T) {
+	prog, rel := chainFixture(t)
+	dirty := rel.Clone()
+	if _, err := errgen.Inject(dirty, errgen.Options{Rate: 0.03, MinErrors: 20, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r := New(prog, Options{MaxEdits: 2})
+	repaired, unrepairable, err := r.Apply(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Fatal("nothing repaired")
+	}
+	// Every touched row must now be consistent.
+	rep, err := core.NewGuard(prog, core.Ignore).Apply(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsFlagged > unrepairable {
+		t.Fatalf("flagged %d rows > unrepairable %d", rep.RowsFlagged, unrepairable)
+	}
+}
+
+func TestHolisticBeatsNaiveOnDeterminantCorruption(t *testing.T) {
+	// Corrupt a determinant (PostalCode). Naive rectify rewrites the
+	// dependent City to match the corrupted PostalCode's branch — if one
+	// exists — or leaves an inconsistency. Holistic repair may instead fix
+	// the PostalCode itself; either way the row ends consistent.
+	prog, rel := chainFixture(t)
+	r := New(prog, Options{MaxEdits: 2})
+	row := rel.Row(0, nil)
+	row[0] = rel.Intern(0, "badcode")
+	if _, ok := r.Repair(row); ok {
+		if len(prog.Detect(row)) != 0 {
+			t.Fatal("repair left violations")
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, rel := chainFixture(t)
+	msg := Explain(Edit{Attr: 1, From: 0, To: 1}, rel)
+	if msg == "" {
+		t.Fatal("empty explanation")
+	}
+}

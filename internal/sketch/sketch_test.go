@@ -1,0 +1,163 @@
+package sketch
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/graph"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	a := Stmt{Given: []int{2, 0}, On: 1}
+	b := Stmt{Given: []int{0, 2}, On: 1}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Stmt{Given: []int{0, 2}, On: 3}
+	if a.Key() == c.Key() {
+		t.Fatal("different sketches share a key")
+	}
+}
+
+func TestFromDAG(t *testing.T) {
+	d := graph.NewDAG(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(2, 1)
+	d.AddEdge(1, 3)
+	p := FromDAG(d)
+	if len(p.Stmts) != 2 {
+		t.Fatalf("got %d statements: %+v", len(p.Stmts), p)
+	}
+	byOn := map[int]Stmt{}
+	for _, s := range p.Stmts {
+		byOn[s.On] = s
+	}
+	if len(byOn[1].Given) != 2 {
+		t.Fatalf("node 1 should have 2 determinants: %+v", byOn[1])
+	}
+	if len(byOn[3].Given) != 1 || byOn[3].Given[0] != 1 {
+		t.Fatalf("node 3 determinants wrong: %+v", byOn[3])
+	}
+}
+
+func TestLNTOnChain(t *testing.T) {
+	rel, err := bn.PostalChain(8).Sample(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := auxdist.Identity(rel)
+	// City depends on PostalCode: LNT.
+	ok, err := LNT(Stmt{Given: []int{0}, On: 1}, d, 0.01)
+	if err != nil || !ok {
+		t.Fatalf("PostalCode->City should be LNT: ok=%v err=%v", ok, err)
+	}
+	// Empty determinant set: never LNT.
+	ok, _ = LNT(Stmt{Given: nil, On: 1}, d, 0.01)
+	if ok {
+		t.Fatal("empty GIVEN reported LNT")
+	}
+}
+
+func TestLNTIndependentAttrs(t *testing.T) {
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "a", Card: 3, CPT: []float64{0.3, 0.3, 0.4}},
+		{Name: "b", Card: 3, CPT: []float64{0.2, 0.5, 0.3}},
+	}}
+	rel, err := nw.Sample(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := LNT(Stmt{Given: []int{0}, On: 1}, auxdist.Identity(rel), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("independent attributes reported LNT")
+	}
+}
+
+func TestLNTCompositeDeterminants(t *testing.T) {
+	// either = f(tub, lung): LNT with the composite determinant set.
+	rel, err := bn.Hospital().Sample(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tub, lung, either := rel.AttrIndex("tub"), rel.AttrIndex("lung"), rel.AttrIndex("either")
+	ok, err := LNT(Stmt{Given: []int{tub, lung}, On: either}, auxdist.Identity(rel), 0.01)
+	if err != nil || !ok {
+		t.Fatalf("composite LNT failed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestGNTRejectsRedundantSketch(t *testing.T) {
+	// Example 4.1: PostalCode->City, City->State are fine, but adding
+	// PostalCode->State is not GNT: PostalCode ⟂ State | City.
+	rel, err := bn.PostalChain(8).Sample(6000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := auxdist.Identity(rel)
+	good := Prog{Stmts: []Stmt{
+		{Given: []int{0}, On: 1},
+		{Given: []int{1}, On: 2},
+	}}
+	ok, err := GNT(good, d, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("chain sketch should be GNT")
+	}
+	saturated := Prog{Stmts: []Stmt{
+		{Given: []int{0}, On: 1},
+		{Given: []int{1}, On: 2},
+		{Given: []int{0}, On: 2}, // redundant: screened off by City
+	}}
+	ok, err = GNT(saturated, d, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("saturated sketch should not be GNT")
+	}
+}
+
+func TestGNTRejectsNonLNTMember(t *testing.T) {
+	nw := &bn.Network{Nodes: []bn.Node{
+		{Name: "a", Card: 3, CPT: []float64{0.3, 0.3, 0.4}},
+		{Name: "b", Card: 3, CPT: []float64{0.2, 0.5, 0.3}},
+	}}
+	rel, err := nw.Sample(4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Prog{Stmts: []Stmt{{Given: []int{0}, On: 1}}}
+	ok, err := GNT(p, auxdist.Identity(rel), 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("sketch over independent attrs should fail GNT")
+	}
+}
+
+func TestComposeOverflow(t *testing.T) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 8, MaxCard: 6, Seed: 9}).Sample(500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := auxdist.Identity(rel)
+	// Composing every attribute overflows the cardinality cap.
+	var all []int
+	for i := 0; i < 8; i++ {
+		all = append(all, i)
+	}
+	big := make([]int, 0, 40)
+	for len(big) < 40 {
+		big = append(big, all...)
+	}
+	if _, err := compose(d, big); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}

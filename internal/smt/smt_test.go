@@ -1,0 +1,82 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+func TestEncodeGrowsWithSchema(t *testing.T) {
+	small, err := bn.PostalChain(4).Sample(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := bn.RandomSEM(bn.SEMSpec{Attrs: 15, Seed: 2}).Sample(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := Encode(small, 3)
+	eb := Encode(big, 3)
+	if es.NumClauses <= 0 || eb.NumClauses <= 0 {
+		t.Fatal("no clauses counted")
+	}
+	if eb.NumClauses < 100*es.NumClauses {
+		t.Fatalf("encoding should explode with width: %g vs %g", eb.NumClauses, es.NumClauses)
+	}
+	if eb.NumSketches <= es.NumSketches {
+		t.Fatal("sketch count did not grow")
+	}
+}
+
+func TestSynthesizeToyInput(t *testing.T) {
+	rel, err := bn.PostalChain(6).Sample(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(rel, Options{Epsilon: 0.01, MaxGiven: 1, Budget: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Stmts) == 0 {
+		t.Fatal("no program found on toy input")
+	}
+	if !dsl.EpsValid(res.Program, rel, 0.01) {
+		t.Fatal("baseline program not ε-valid")
+	}
+	if res.Coverage <= 0 {
+		t.Fatalf("coverage = %g", res.Coverage)
+	}
+}
+
+func TestSynthesizeBudgetExhaustion(t *testing.T) {
+	// Dataset-scale input: the monolithic search must give up (§8.3).
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 12, Seed: 4}).Sample(5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Synthesize(rel, Options{MaxGiven: 3, Budget: 100_000})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+}
+
+func TestSynthesizeDegenerate(t *testing.T) {
+	rel, err := bn.PostalChain(4).Sample(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(rel, Options{}); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+}
+
+func TestClausesHuman(t *testing.T) {
+	if got := ClausesHuman(500); got != "500" {
+		t.Fatalf("got %q", got)
+	}
+	if got := ClausesHuman(2.2e13); got != "2.20e13" {
+		t.Fatalf("got %q", got)
+	}
+}

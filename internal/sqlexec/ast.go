@@ -1,0 +1,550 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a SQL expression node.
+type Expr interface{ exprNode() }
+
+// ColRef references a column, optionally table-qualified. Pred marks the
+// "label_pred" / PREDICT(label) form that resolves to a model prediction.
+type ColRef struct {
+	Table string
+	Name  string
+	Pred  bool
+}
+
+// NumLit is a numeric literal.
+type NumLit struct{ V float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// Binary is a binary operation: = != < > <= >= AND OR + - * /.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT or numeric negation.
+type Unary struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+// Case is CASE WHEN cond THEN v [ELSE e] END (single WHEN arm suffices for
+// the paper's queries; multiple arms are supported).
+type Case struct {
+	Whens []WhenArm
+	Else  Expr
+}
+
+// WhenArm is one WHEN/THEN pair.
+type WhenArm struct {
+	Cond Expr
+	Then Expr
+}
+
+// Agg is an aggregate call: AVG, SUM, COUNT, MIN, MAX. Star marks COUNT(*).
+type Agg struct {
+	Fn   string
+	Arg  Expr
+	Star bool
+}
+
+// InList is "e IN (v1, v2, ...)" or its negation.
+type InList struct {
+	E     Expr
+	Items []Expr
+	Neg   bool
+}
+
+func (ColRef) exprNode() {}
+func (NumLit) exprNode() {}
+func (StrLit) exprNode() {}
+func (Binary) exprNode() {}
+func (Unary) exprNode()  {}
+func (Case) exprNode()   {}
+func (Agg) exprNode()    {}
+func (InList) exprNode() {}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     string
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// Parse parses a single SELECT query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF && !(p.cur().kind == tSymbol && p.cur().text == ";") {
+		return nil, fmt.Errorf("sqlexec: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return q, nil
+}
+
+type qparser struct {
+	toks []token
+	i    int
+}
+
+func (p *qparser) cur() token { return p.toks[p.i] }
+func (p *qparser) advance()   { p.i++ }
+
+func (p *qparser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *qparser) expectKw(kw string) error {
+	if !p.isKw(kw) {
+		return fmt.Errorf("sqlexec: expected %s at %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *qparser) isSym(s string) bool {
+	t := p.cur()
+	return t.kind == tSymbol && t.text == s
+}
+
+func (p *qparser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.isKw("DISTINCT") {
+		q.Distinct = true
+		p.advance()
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.isSym(",") {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tIdent {
+		return nil, fmt.Errorf("sqlexec: expected table name at %d", p.cur().pos)
+	}
+	q.From = p.cur().text
+	p.advance()
+	if p.isKw("WHERE") {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.isKw("GROUP") {
+		p.advance()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.isSym(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	// Accept the WHERE-after-GROUP-BY order the paper's case study uses.
+	if p.isKw("WHERE") && q.Where == nil {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.isKw("HAVING") {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.isKw("ORDER") {
+		p.advance()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.isKw("ASC") {
+				p.advance()
+			} else if p.isKw("DESC") {
+				key.Desc = true
+				p.advance()
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.isSym(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKw("LIMIT") {
+		p.advance()
+		if p.cur().kind != tNumber {
+			return nil, fmt.Errorf("sqlexec: expected LIMIT count at %d", p.cur().pos)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlexec: bad LIMIT %q at %d", p.cur().text, p.cur().pos)
+		}
+		q.Limit = n
+		p.advance()
+	}
+	return q, nil
+}
+
+func (p *qparser) selectItem() (SelectItem, error) {
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.isKw("AS") {
+		p.advance()
+		if p.cur().kind != tIdent {
+			return item, fmt.Errorf("sqlexec: expected alias at %d", p.cur().pos)
+		}
+		item.Alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *qparser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *qparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("OR") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("AND") {
+		p.advance()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+// notExpr handles SQL's NOT, which binds looser than comparisons.
+func (p *qparser) notExpr() (Expr, error) {
+	if p.isKw("NOT") {
+		p.advance()
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]string{"=": "=", "==": "=", "!=": "!=", "<>": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+func (p *qparser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	neg := false
+	if p.isKw("NOT") && p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tIdent && strings.EqualFold(p.toks[p.i+1].text, "IN") {
+		neg = true
+		p.advance()
+	}
+	if p.isKw("IN") {
+		p.advance()
+		if !p.isSym("(") {
+			return nil, fmt.Errorf("sqlexec: expected '(' after IN at %d", p.cur().pos)
+		}
+		p.advance()
+		in := InList{E: l, Neg: neg}
+		for {
+			item, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			in.Items = append(in.Items, item)
+			if !p.isSym(",") {
+				break
+			}
+			p.advance()
+		}
+		if !p.isSym(")") {
+			return nil, fmt.Errorf("sqlexec: expected ')' after IN list at %d", p.cur().pos)
+		}
+		p.advance()
+		return in, nil
+	}
+	if neg {
+		return nil, fmt.Errorf("sqlexec: expected IN after NOT at %d", p.cur().pos)
+	}
+	if p.cur().kind == tSymbol {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			// Tolerate doubled equals written as two tokens ("==").
+			if op == "=" && p.isSym("=") {
+				p.advance()
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *qparser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("+") || p.isSym("-") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("*") || p.isSym("/") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) unary() (Expr, error) {
+	if p.isSym("-") {
+		p.advance()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+var aggFns = map[string]bool{"AVG": true, "SUM": true, "COUNT": true, "MIN": true, "MAX": true}
+
+func (p *qparser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlexec: bad number %q at %d", t.text, t.pos)
+		}
+		p.advance()
+		return NumLit{V: v}, nil
+	case t.kind == tString:
+		p.advance()
+		return StrLit{V: t.text}, nil
+	case t.kind == tSymbol && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isSym(")") {
+			return nil, fmt.Errorf("sqlexec: expected ')' at %d", p.cur().pos)
+		}
+		p.advance()
+		return e, nil
+	case t.kind == tIdent:
+		upper := strings.ToUpper(t.text)
+		if p.isKw("CASE") {
+			return p.caseExpr()
+		}
+		if aggFns[upper] {
+			p.advance()
+			if !p.isSym("(") {
+				return nil, fmt.Errorf("sqlexec: expected '(' after %s at %d", upper, p.cur().pos)
+			}
+			p.advance()
+			if upper == "COUNT" && p.isSym("*") {
+				p.advance()
+				if !p.isSym(")") {
+					return nil, fmt.Errorf("sqlexec: expected ')' at %d", p.cur().pos)
+				}
+				p.advance()
+				return Agg{Fn: "COUNT", Star: true}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.isSym(")") {
+				return nil, fmt.Errorf("sqlexec: expected ')' at %d", p.cur().pos)
+			}
+			p.advance()
+			return Agg{Fn: upper, Arg: arg}, nil
+		}
+		if upper == "PREDICT" {
+			p.advance()
+			if !p.isSym("(") {
+				return nil, fmt.Errorf("sqlexec: expected '(' after PREDICT at %d", p.cur().pos)
+			}
+			p.advance()
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			if !p.isSym(")") {
+				return nil, fmt.Errorf("sqlexec: expected ')' at %d", p.cur().pos)
+			}
+			p.advance()
+			ref.Pred = true
+			return ref, nil
+		}
+		return p.colRef()
+	}
+	return nil, fmt.Errorf("sqlexec: unexpected token %q at %d", t.text, t.pos)
+}
+
+func (p *qparser) colRef() (ColRef, error) {
+	if p.cur().kind != tIdent {
+		return ColRef{}, fmt.Errorf("sqlexec: expected column at %d", p.cur().pos)
+	}
+	ref := ColRef{Name: p.cur().text}
+	p.advance()
+	if p.isSym(".") {
+		p.advance()
+		if p.cur().kind != tIdent {
+			return ColRef{}, fmt.Errorf("sqlexec: expected column after '.' at %d", p.cur().pos)
+		}
+		ref.Table, ref.Name = ref.Name, p.cur().text
+		p.advance()
+	}
+	// The "<attr>_pred" convention from the paper's case study.
+	if strings.HasSuffix(ref.Name, "_pred") {
+		ref.Name = strings.TrimSuffix(ref.Name, "_pred")
+		ref.Pred = true
+	}
+	return ref, nil
+}
+
+func (p *qparser) caseExpr() (Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	var c Case
+	for p.isKw("WHEN") {
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenArm{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("sqlexec: CASE without WHEN at %d", p.cur().pos)
+	}
+	if p.isKw("ELSE") {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

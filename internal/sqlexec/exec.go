@@ -1,0 +1,873 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/ml"
+)
+
+// Value is a SQL value: a number, a string, or NULL.
+type Value struct {
+	Num   float64
+	Str   string
+	IsNum bool
+	Null  bool
+}
+
+// NumValue builds a numeric value.
+func NumValue(v float64) Value { return Value{Num: v, IsNum: true} }
+
+// StrValue builds a string value.
+func StrValue(s string) Value { return Value{Str: s} }
+
+// NullValue is the SQL NULL.
+var NullValue = Value{Null: true}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// truthy interprets a value as a boolean predicate result.
+func (v Value) truthy() bool {
+	if v.Null {
+		return false
+	}
+	if v.IsNum {
+		return v.Num != 0
+	}
+	return v.Str != ""
+}
+
+// Env supplies models and an optional guard to the executor.
+type Env struct {
+	// Models maps label attribute names to trained models, consulted by
+	// PREDICT(label) / label_pred expressions.
+	Models map[string]ml.Model
+	// Guard, when non-nil, vets every scanned row before it reaches the
+	// model, applying its strategy (raise/ignore/coerce/rectify).
+	Guard *core.Guard
+	// DisablePushdown turns off predicate pushdown (for the ablation
+	// bench); by default WHERE conjuncts that do not reference predictions
+	// are evaluated before any model call.
+	DisablePushdown bool
+}
+
+// Stats reports executor instrumentation (Table 6's breakdown).
+type Stats struct {
+	RowsScanned   int
+	RowsFiltered  int // rows removed by pushed-down predicates before inference
+	PredictCalls  int
+	GuardTime     time.Duration
+	InferenceTime time.Duration
+}
+
+// Result is a query result table.
+type Result struct {
+	Cols  []string
+	Rows  [][]Value
+	Stats Stats
+}
+
+// Column returns the values of a named result column.
+func (r *Result) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, c := range r.Cols {
+		if c == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("sqlexec: no result column %q", name)
+	}
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		if !row[idx].IsNum {
+			return nil, fmt.Errorf("sqlexec: column %q is not numeric", name)
+		}
+		out[i] = row[idx].Num
+	}
+	return out, nil
+}
+
+// Exec parses and runs query against rel.
+func Exec(query string, rel *dataset.Relation, env *Env) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Run(q, rel, env)
+}
+
+// Run executes a parsed query.
+func Run(q *Query, rel *dataset.Relation, env *Env) (*Result, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	if !strings.EqualFold(q.From, rel.Name()) && rel.Name() != "" && q.From != "" {
+		// Tolerate mismatches silently only when the query table is the
+		// relation's name or the relation is anonymous.
+		if !strings.EqualFold(q.From, "t") {
+			return nil, fmt.Errorf("sqlexec: query reads table %q, relation is %q", q.From, rel.Name())
+		}
+	}
+	ex := &executor{rel: rel, env: env}
+	if err := ex.resolveQuery(q); err != nil {
+		return nil, err
+	}
+	return ex.run(q)
+}
+
+type executor struct {
+	rel   *dataset.Relation
+	env   *Env
+	stats Stats
+	// preds caches per-row predictions by label attr name.
+	preds map[string][]int32
+}
+
+// resolveQuery checks every column reference and PREDICT target up front.
+func (ex *executor) resolveQuery(q *Query) error {
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		switch n := e.(type) {
+		case ColRef:
+			if ex.rel.AttrIndex(n.Name) < 0 {
+				return fmt.Errorf("sqlexec: unknown column %q", n.Name)
+			}
+			if n.Pred {
+				if ex.env.Models == nil || ex.env.Models[n.Name] == nil {
+					return fmt.Errorf("sqlexec: no model registered for %q", n.Name)
+				}
+			}
+			return nil
+		case Binary:
+			if err := walk(n.L); err != nil {
+				return err
+			}
+			return walk(n.R)
+		case Unary:
+			return walk(n.E)
+		case Case:
+			for _, w := range n.Whens {
+				if err := walk(w.Cond); err != nil {
+					return err
+				}
+				if err := walk(w.Then); err != nil {
+					return err
+				}
+			}
+			if n.Else != nil {
+				return walk(n.Else)
+			}
+			return nil
+		case Agg:
+			if n.Star {
+				return nil
+			}
+			return walk(n.Arg)
+		case InList:
+			if err := walk(n.E); err != nil {
+				return err
+			}
+			for _, it := range n.Items {
+				if err := walk(it); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	for _, it := range q.Select {
+		if err := walk(it.Expr); err != nil {
+			return err
+		}
+	}
+	if q.Where != nil {
+		if err := walk(q.Where); err != nil {
+			return err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := walk(g); err != nil {
+			return err
+		}
+	}
+	if q.Having != nil {
+		if err := walk(q.Having); err != nil {
+			return err
+		}
+	}
+	for _, k := range q.OrderBy {
+		if err := walk(k.Expr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usesPred reports whether e references any prediction.
+func usesPred(e Expr) bool {
+	switch n := e.(type) {
+	case ColRef:
+		return n.Pred
+	case Binary:
+		return usesPred(n.L) || usesPred(n.R)
+	case Unary:
+		return usesPred(n.E)
+	case Case:
+		for _, w := range n.Whens {
+			if usesPred(w.Cond) || usesPred(w.Then) {
+				return true
+			}
+		}
+		return n.Else != nil && usesPred(n.Else)
+	case Agg:
+		return !n.Star && usesPred(n.Arg)
+	case InList:
+		if usesPred(n.E) {
+			return true
+		}
+		for _, it := range n.Items {
+			if usesPred(it) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitConjuncts flattens the AND tree of a WHERE clause.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func (ex *executor) run(q *Query) (*Result, error) {
+	rel := ex.rel
+	n := rel.NumRows()
+	ex.stats.RowsScanned = n
+
+	// Stage 0: guard interception — every incoming row is vetted before
+	// anything downstream sees it (Example 1.2). Work on copies so Coerce
+	// and Rectify do not mutate the caller's relation.
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = rel.Row(i, nil)
+	}
+	if ex.env.Guard != nil {
+		t0 := time.Now()
+		for i := range rows {
+			if _, err := ex.env.Guard.CheckRow(rows[i]); err != nil {
+				return nil, fmt.Errorf("sqlexec: guard: %w", err)
+			}
+		}
+		ex.stats.GuardTime = time.Since(t0)
+	}
+
+	// Stage 1: predicate pushdown — evaluate prediction-free conjuncts
+	// before running the model.
+	var pre, post []Expr
+	if q.Where != nil {
+		for _, c := range splitConjuncts(q.Where) {
+			if !ex.env.DisablePushdown && !usesPred(c) {
+				pre = append(pre, c)
+			} else {
+				post = append(post, c)
+			}
+		}
+	}
+	var live []int
+	for i := range rows {
+		keep := true
+		for _, c := range pre {
+			v, err := ex.evalRow(c, rows[i])
+			if err != nil {
+				return nil, err
+			}
+			if !v.truthy() {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			live = append(live, i)
+		}
+	}
+	ex.stats.RowsFiltered = n - len(live)
+
+	// Stage 2: compute needed predictions for surviving rows.
+	labels := map[string]bool{}
+	collectPredLabels(q, labels)
+	ex.preds = map[string][]int32{}
+	for label := range labels {
+		model := ex.env.Models[label]
+		col := make([]int32, n)
+		t0 := time.Now()
+		for _, i := range live {
+			col[i] = model.Predict(rows[i])
+			ex.stats.PredictCalls++
+		}
+		ex.stats.InferenceTime += time.Since(t0)
+		ex.preds[label] = col
+	}
+
+	// Stage 3: residual WHERE.
+	var final []int
+	for _, i := range live {
+		keep := true
+		for _, c := range post {
+			v, err := ex.evalRowIdx(c, rows[i], i)
+			if err != nil {
+				return nil, err
+			}
+			if !v.truthy() {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			final = append(final, i)
+		}
+	}
+
+	// Stage 4: grouping.
+	type grp struct {
+		key  string
+		rows []int
+	}
+	var groups []*grp
+	if len(q.GroupBy) == 0 && !hasAggregates(q) && q.Having == nil {
+		// Plain projection: one output row per input row.
+		for _, i := range final {
+			groups = append(groups, &grp{rows: []int{i}})
+		}
+	} else if len(q.GroupBy) == 0 {
+		groups = []*grp{{rows: final}}
+	} else {
+		byKey := map[string]*grp{}
+		for _, i := range final {
+			var kb strings.Builder
+			for _, g := range q.GroupBy {
+				v, err := ex.evalRowIdx(g, rows[i], i)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.String())
+				kb.WriteByte('\x00')
+			}
+			k := kb.String()
+			gp := byKey[k]
+			if gp == nil {
+				gp = &grp{key: k}
+				byKey[k] = gp
+				groups = append(groups, gp)
+			}
+			gp.rows = append(gp.rows, i)
+		}
+		sort.Slice(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
+	}
+
+	// Stage 5: HAVING over groups.
+	if q.Having != nil {
+		var kept []*grp
+		for _, g := range groups {
+			v, err := ex.evalGroup(q.Having, rows, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if v.truthy() {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+
+	// Stage 6: ORDER BY over groups (before projection so keys may use
+	// expressions that are not projected).
+	if len(q.OrderBy) > 0 {
+		keys := make([][]Value, len(groups))
+		for i, g := range groups {
+			keys[i] = make([]Value, len(q.OrderBy))
+			for ki, k := range q.OrderBy {
+				v, err := ex.evalGroup(k.Expr, rows, g.rows)
+				if err != nil {
+					return nil, err
+				}
+				keys[i][ki] = v
+			}
+		}
+		idx := make([]int, len(groups))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for ki, k := range q.OrderBy {
+				c := compareValues(keys[idx[a]][ki], keys[idx[b]][ki])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]*grp, len(groups))
+		for i, j := range idx {
+			sorted[i] = groups[j]
+		}
+		groups = sorted
+	}
+
+	// Stage 7: projection and LIMIT.
+	res := &Result{}
+	for ci, it := range q.Select {
+		res.Cols = append(res.Cols, columnName(it, ci))
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if len(q.GroupBy) == 0 && len(g.rows) == 0 && !hasAggregates(q) {
+			continue
+		}
+		out := make([]Value, len(q.Select))
+		for ci, it := range q.Select {
+			v, err := ex.evalGroup(it.Expr, rows, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			out[ci] = v
+		}
+		if q.Distinct {
+			key := ""
+			for _, v := range out {
+				key += v.String() + "\x00"
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, out)
+		if q.Limit >= 0 && len(res.Rows) >= q.Limit {
+			break
+		}
+	}
+	if q.Limit == 0 {
+		res.Rows = nil
+	}
+	res.Stats = ex.stats
+	return res, nil
+}
+
+// compareValues orders two SQL values: NULL first, then numeric, then
+// string comparison.
+func compareValues(a, b Value) int {
+	switch {
+	case a.Null && b.Null:
+		return 0
+	case a.Null:
+		return -1
+	case b.Null:
+		return 1
+	case a.IsNum && b.IsNum:
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+func hasAggregates(q *Query) bool {
+	for _, it := range q.Select {
+		if exprHasAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAgg(e Expr) bool {
+	switch n := e.(type) {
+	case Agg:
+		return true
+	case Binary:
+		return exprHasAgg(n.L) || exprHasAgg(n.R)
+	case Unary:
+		return exprHasAgg(n.E)
+	case Case:
+		for _, w := range n.Whens {
+			if exprHasAgg(w.Cond) || exprHasAgg(w.Then) {
+				return true
+			}
+		}
+		return n.Else != nil && exprHasAgg(n.Else)
+	}
+	return false
+}
+
+func collectPredLabels(q *Query, out map[string]bool) {
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case ColRef:
+			if n.Pred {
+				out[n.Name] = true
+			}
+		case Binary:
+			walk(n.L)
+			walk(n.R)
+		case Unary:
+			walk(n.E)
+		case Case:
+			for _, w := range n.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if n.Else != nil {
+				walk(n.Else)
+			}
+		case Agg:
+			if !n.Star {
+				walk(n.Arg)
+			}
+		case InList:
+			walk(n.E)
+			for _, it := range n.Items {
+				walk(it)
+			}
+		}
+	}
+	for _, it := range q.Select {
+		walk(it.Expr)
+	}
+	if q.Where != nil {
+		walk(q.Where)
+	}
+	for _, g := range q.GroupBy {
+		walk(g)
+	}
+	if q.Having != nil {
+		walk(q.Having)
+	}
+	for _, k := range q.OrderBy {
+		walk(k.Expr)
+	}
+}
+
+func columnName(it SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch n := it.Expr.(type) {
+	case ColRef:
+		if n.Pred {
+			return n.Name + "_pred"
+		}
+		return n.Name
+	case Agg:
+		if n.Star {
+			return "COUNT(*)"
+		}
+		return n.Fn
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// evalRow evaluates a prediction-free expression against one row.
+func (ex *executor) evalRow(e Expr, row []int32) (Value, error) {
+	return ex.evalRowIdx(e, row, -1)
+}
+
+// evalRowIdx evaluates e against one row; idx supplies the row's index for
+// prediction lookups (-1 when predictions are unavailable).
+func (ex *executor) evalRowIdx(e Expr, row []int32, idx int) (Value, error) {
+	switch n := e.(type) {
+	case NumLit:
+		return NumValue(n.V), nil
+	case StrLit:
+		return StrValue(n.V), nil
+	case ColRef:
+		a := ex.rel.AttrIndex(n.Name)
+		if n.Pred {
+			if idx < 0 {
+				return NullValue, fmt.Errorf("sqlexec: prediction for %q unavailable in this context", n.Name)
+			}
+			return ex.attrValue(a, ex.preds[n.Name][idx]), nil
+		}
+		return ex.attrValue(a, row[a]), nil
+	case Unary:
+		v, err := ex.evalRowIdx(n.E, row, idx)
+		if err != nil {
+			return NullValue, err
+		}
+		if n.Op == "NOT" {
+			return boolValue(!v.truthy()), nil
+		}
+		if !v.IsNum {
+			return NullValue, fmt.Errorf("sqlexec: negating non-number")
+		}
+		return NumValue(-v.Num), nil
+	case Binary:
+		return ex.evalBinary(n, row, idx)
+	case Case:
+		for _, w := range n.Whens {
+			c, err := ex.evalRowIdx(w.Cond, row, idx)
+			if err != nil {
+				return NullValue, err
+			}
+			if c.truthy() {
+				return ex.evalRowIdx(w.Then, row, idx)
+			}
+		}
+		if n.Else != nil {
+			return ex.evalRowIdx(n.Else, row, idx)
+		}
+		return NullValue, nil
+	case Agg:
+		return NullValue, fmt.Errorf("sqlexec: aggregate %s in row context", n.Fn)
+	case InList:
+		v, err := ex.evalRowIdx(n.E, row, idx)
+		if err != nil {
+			return NullValue, err
+		}
+		if v.Null {
+			return NullValue, nil
+		}
+		found := false
+		for _, item := range n.Items {
+			iv, err := ex.evalRowIdx(item, row, idx)
+			if err != nil {
+				return NullValue, err
+			}
+			if iv.Null {
+				continue
+			}
+			if (v.IsNum && iv.IsNum && v.Num == iv.Num) || (!v.IsNum || !iv.IsNum) && v.String() == iv.String() {
+				found = true
+				break
+			}
+		}
+		return boolValue(found != n.Neg), nil
+	}
+	return NullValue, fmt.Errorf("sqlexec: unhandled expression %T", e)
+}
+
+func (ex *executor) attrValue(attr int, code int32) Value {
+	if code == dataset.Missing {
+		return NullValue
+	}
+	s := ex.rel.Dict(attr).Value(code)
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return NumValue(f)
+	}
+	return StrValue(s)
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return NumValue(1)
+	}
+	return NumValue(0)
+}
+
+func (ex *executor) evalBinary(n Binary, row []int32, idx int) (Value, error) {
+	l, err := ex.evalRowIdx(n.L, row, idx)
+	if err != nil {
+		return NullValue, err
+	}
+	if n.Op == "AND" {
+		if !l.truthy() {
+			return boolValue(false), nil
+		}
+		r, err := ex.evalRowIdx(n.R, row, idx)
+		if err != nil {
+			return NullValue, err
+		}
+		return boolValue(r.truthy()), nil
+	}
+	if n.Op == "OR" {
+		if l.truthy() {
+			return boolValue(true), nil
+		}
+		r, err := ex.evalRowIdx(n.R, row, idx)
+		if err != nil {
+			return NullValue, err
+		}
+		return boolValue(r.truthy()), nil
+	}
+	r, err := ex.evalRowIdx(n.R, row, idx)
+	if err != nil {
+		return NullValue, err
+	}
+	if l.Null || r.Null {
+		return NullValue, nil
+	}
+	switch n.Op {
+	case "=", "!=":
+		var eq bool
+		if l.IsNum && r.IsNum {
+			eq = l.Num == r.Num
+		} else {
+			eq = l.String() == r.String()
+		}
+		if n.Op == "!=" {
+			eq = !eq
+		}
+		return boolValue(eq), nil
+	case "<", ">", "<=", ">=":
+		var cmp int
+		if l.IsNum && r.IsNum {
+			switch {
+			case l.Num < r.Num:
+				cmp = -1
+			case l.Num > r.Num:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(l.String(), r.String())
+		}
+		switch n.Op {
+		case "<":
+			return boolValue(cmp < 0), nil
+		case ">":
+			return boolValue(cmp > 0), nil
+		case "<=":
+			return boolValue(cmp <= 0), nil
+		default:
+			return boolValue(cmp >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		if !l.IsNum || !r.IsNum {
+			return NullValue, fmt.Errorf("sqlexec: arithmetic on non-numbers")
+		}
+		switch n.Op {
+		case "+":
+			return NumValue(l.Num + r.Num), nil
+		case "-":
+			return NumValue(l.Num - r.Num), nil
+		case "*":
+			return NumValue(l.Num * r.Num), nil
+		default:
+			if r.Num == 0 {
+				return NullValue, nil
+			}
+			return NumValue(l.Num / r.Num), nil
+		}
+	}
+	return NullValue, fmt.Errorf("sqlexec: unknown operator %q", n.Op)
+}
+
+// evalGroup evaluates a select expression over a group: aggregates fold
+// their argument across the group's rows; bare columns take the first
+// row's value (the group key case).
+func (ex *executor) evalGroup(e Expr, rows [][]int32, group []int) (Value, error) {
+	switch n := e.(type) {
+	case Agg:
+		return ex.evalAgg(n, rows, group)
+	case Binary:
+		l, err := ex.evalGroup(n.L, rows, group)
+		if err != nil {
+			return NullValue, err
+		}
+		r, err := ex.evalGroup(n.R, rows, group)
+		if err != nil {
+			return NullValue, err
+		}
+		return ex.evalBinary(Binary{Op: n.Op, L: litOf(l), R: litOf(r)}, nil, -1)
+	case Unary:
+		v, err := ex.evalGroup(n.E, rows, group)
+		if err != nil {
+			return NullValue, err
+		}
+		return ex.evalRowIdx(Unary{Op: n.Op, E: litOf(v)}, nil, -1)
+	default:
+		if len(group) == 0 {
+			return NullValue, nil
+		}
+		return ex.evalRowIdx(e, rows[group[0]], group[0])
+	}
+}
+
+// litOf re-wraps a computed value as a literal for operator reuse.
+func litOf(v Value) Expr {
+	if v.Null {
+		return Case{Whens: []WhenArm{{Cond: NumLit{V: 0}, Then: NumLit{V: 0}}}} // evaluates to NULL
+	}
+	if v.IsNum {
+		return NumLit{V: v.Num}
+	}
+	return StrLit{V: v.Str}
+}
+
+func (ex *executor) evalAgg(n Agg, rows [][]int32, group []int) (Value, error) {
+	if n.Star {
+		return NumValue(float64(len(group))), nil
+	}
+	var vals []float64
+	count := 0
+	for _, i := range group {
+		v, err := ex.evalRowIdx(n.Arg, rows[i], i)
+		if err != nil {
+			return NullValue, err
+		}
+		if v.Null {
+			continue
+		}
+		count++
+		if v.IsNum {
+			vals = append(vals, v.Num)
+		} else if n.Fn != "COUNT" {
+			return NullValue, fmt.Errorf("sqlexec: %s over non-numeric values", n.Fn)
+		}
+	}
+	switch n.Fn {
+	case "COUNT":
+		return NumValue(float64(count)), nil
+	case "SUM", "AVG":
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		if n.Fn == "SUM" {
+			return NumValue(s), nil
+		}
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		return NumValue(s / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if (n.Fn == "MIN" && v < m) || (n.Fn == "MAX" && v > m) {
+				m = v
+			}
+		}
+		return NumValue(m), nil
+	}
+	return NullValue, fmt.Errorf("sqlexec: unknown aggregate %q", n.Fn)
+}

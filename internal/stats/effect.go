@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// CramersV computes Cramér's V — a [0,1] effect size for the association
+// between two discrete variables — from their codes. Unlike the G² p-value
+// it does not grow with sample size, so it is the right lens for ranking
+// edge strengths when diagnosing learned structures.
+func CramersV(x, y []int32, cardX, cardY int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: CramersV requires equal-length inputs")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, errors.New("stats: CramersV on empty input")
+	}
+	cx, cy := cardX+1, cardY+1 // extra slot for missing
+	tab := make([]float64, cx*cy)
+	for i := 0; i < n; i++ {
+		tab[catOf(x[i], cx-1)*cy+catOf(y[i], cy-1)]++
+	}
+	rows := make([]float64, cx)
+	cols := make([]float64, cy)
+	for i := 0; i < cx; i++ {
+		for j := 0; j < cy; j++ {
+			rows[i] += tab[i*cy+j]
+			cols[j] += tab[i*cy+j]
+		}
+	}
+	var chi2 float64
+	for i := 0; i < cx; i++ {
+		if rows[i] == 0 {
+			continue
+		}
+		for j := 0; j < cy; j++ {
+			if cols[j] == 0 {
+				continue
+			}
+			e := rows[i] * cols[j] / float64(n)
+			d := tab[i*cy+j] - e
+			chi2 += d * d / e
+		}
+	}
+	nzR, nzC := 0, 0
+	for _, r := range rows {
+		if r > 0 {
+			nzR++
+		}
+	}
+	for _, c := range cols {
+		if c > 0 {
+			nzC++
+		}
+	}
+	k := math.Min(float64(nzR), float64(nzC))
+	if k <= 1 {
+		return 0, nil
+	}
+	return math.Sqrt(chi2 / (float64(n) * (k - 1))), nil
+}
+
+// MutualInformation estimates I(X; Y) in nats from paired codes — the
+// information-theoretic weight of a candidate GIVEN/ON edge.
+func MutualInformation(x, y []int32, cardX, cardY int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: MutualInformation requires equal-length inputs")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, errors.New("stats: MutualInformation on empty input")
+	}
+	cx, cy := cardX+1, cardY+1
+	joint := make([]float64, cx*cy)
+	px := make([]float64, cx)
+	py := make([]float64, cy)
+	for i := 0; i < n; i++ {
+		a, b := catOf(x[i], cx-1), catOf(y[i], cy-1)
+		joint[a*cy+b]++
+		px[a]++
+		py[b]++
+	}
+	inv := 1 / float64(n)
+	var mi float64
+	for a := 0; a < cx; a++ {
+		for b := 0; b < cy; b++ {
+			j := joint[a*cy+b] * inv
+			if j == 0 {
+				continue
+			}
+			mi += j * math.Log(j/(px[a]*inv*py[b]*inv))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // float fuzz
+	}
+	return mi, nil
+}
+
+// Entropy estimates H(X) in nats from codes.
+func Entropy(x []int32, card int) (float64, error) {
+	if len(x) == 0 {
+		return 0, errors.New("stats: Entropy on empty input")
+	}
+	c := card + 1
+	counts := make([]float64, c)
+	for _, v := range x {
+		counts[catOf(v, c-1)]++
+	}
+	inv := 1 / float64(len(x))
+	var h float64
+	for _, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		p := cnt * inv
+		h -= p * math.Log(p)
+	}
+	return h, nil
+}

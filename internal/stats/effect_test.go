@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func deterministicPair(n int) (x, y []int32) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([]int32, n)
+	y = make([]int32, n)
+	for i := range x {
+		x[i] = int32(rng.Intn(4))
+		y[i] = x[i] // perfect association
+	}
+	return x, y
+}
+
+func independentPair(n int) (x, y []int32) {
+	rng := rand.New(rand.NewSource(2))
+	x = make([]int32, n)
+	y = make([]int32, n)
+	for i := range x {
+		x[i] = int32(rng.Intn(4))
+		y[i] = int32(rng.Intn(4))
+	}
+	return x, y
+}
+
+func TestCramersVExtremes(t *testing.T) {
+	x, y := deterministicPair(4000)
+	v, err := CramersV(x, y, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.99 {
+		t.Fatalf("perfect association V = %g", v)
+	}
+	x, y = independentPair(4000)
+	v, err = CramersV(x, y, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.1 {
+		t.Fatalf("independent V = %g", v)
+	}
+}
+
+func TestCramersVErrors(t *testing.T) {
+	if _, err := CramersV([]int32{1}, []int32{1, 2}, 2, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := CramersV(nil, nil, 2, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Constant columns have k <= 1: association is 0 by convention.
+	v, err := CramersV([]int32{0, 0, 0}, []int32{1, 2, 0}, 1, 3)
+	if err != nil || v != 0 {
+		t.Fatalf("constant column: v=%g err=%v", v, err)
+	}
+}
+
+func TestMutualInformationExtremes(t *testing.T) {
+	x, y := deterministicPair(4000)
+	mi, err := MutualInformation(x, y, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Entropy(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-h) > 0.01 {
+		t.Fatalf("I(X;X) = %g, H(X) = %g", mi, h)
+	}
+	x, y = independentPair(4000)
+	mi, err = MutualInformation(x, y, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > 0.01 {
+		t.Fatalf("independent MI = %g", mi)
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	x := []int32{0, 1, 2, 3, 0, 1, 2, 3}
+	h, err := Entropy(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-math.Log(4)) > 1e-9 {
+		t.Fatalf("H = %g, want ln 4", h)
+	}
+	if _, err := Entropy(nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMissingCodesHandled(t *testing.T) {
+	x := []int32{-1, 0, 1, -1}
+	y := []int32{0, 0, 1, 1}
+	if _, err := CramersV(x, y, 2, 2); err != nil {
+		t.Fatalf("CramersV with missing: %v", err)
+	}
+	if _, err := MutualInformation(x, y, 2, 2); err != nil {
+		t.Fatalf("MI with missing: %v", err)
+	}
+	if _, err := Entropy(x, 2); err != nil {
+		t.Fatalf("Entropy with missing: %v", err)
+	}
+}
+
+// Properties: V in [0,1]; MI >= 0 and symmetric.
+func TestEffectSizeProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		n := len(raw) / 2
+		x := make([]int32, n)
+		y := make([]int32, n)
+		for i := 0; i < n; i++ {
+			x[i] = int32(raw[i] % 5)
+			y[i] = int32(raw[n+i] % 3)
+		}
+		v, err := CramersV(x, y, 5, 3)
+		if err != nil || v < -1e-9 || v > 1+1e-9 {
+			return false
+		}
+		mi, err := MutualInformation(x, y, 5, 3)
+		if err != nil || mi < 0 {
+			return false
+		}
+		mi2, err := MutualInformation(y, x, 3, 5)
+		if err != nil || math.Abs(mi-mi2) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	// 3 TP, 1 FP, 5 TN, 1 FN
+	for i := 0; i < 3; i++ {
+		c.Add(true, true)
+	}
+	c.Add(true, false)
+	for i := 0; i < 5; i++ {
+		c.Add(false, false)
+	}
+	c.Add(false, true)
+	if !near(c.Precision(), 0.75, 1e-12) {
+		t.Fatalf("precision = %g", c.Precision())
+	}
+	if !near(c.Recall(), 0.75, 1e-12) {
+		t.Fatalf("recall = %g", c.Recall())
+	}
+	if !near(c.F1(), 0.75, 1e-12) {
+		t.Fatalf("f1 = %g", c.F1())
+	}
+	mcc := c.MCC()
+	if mcc <= 0 || mcc > 1 {
+		t.Fatalf("mcc = %g out of range", mcc)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	c.Add(false, false)
+	if !math.IsNaN(c.Precision()) || !math.IsNaN(c.Recall()) || !math.IsNaN(c.F1()) || !math.IsNaN(c.MCC()) {
+		t.Fatal("degenerate confusion should yield NaN metrics")
+	}
+}
+
+func TestMCCPerfectAndInverse(t *testing.T) {
+	var p Confusion
+	p.TP, p.TN = 10, 10
+	if !near(p.MCC(), 1, 1e-12) {
+		t.Fatalf("perfect MCC = %g", p.MCC())
+	}
+	var inv Confusion
+	inv.FP, inv.FN = 10, 10
+	if !near(inv.MCC(), -1, 1e-12) {
+		t.Fatalf("inverse MCC = %g", inv.MCC())
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	rho, p, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(rho, 1, 1e-12) {
+		t.Fatalf("rho = %g, want 1", rho)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p = %g, want ~0", p)
+	}
+	yrev := []float64{50, 40, 30, 20, 10}
+	rho, _, _ = Spearman(x, yrev)
+	if !near(rho, -1, 1e-12) {
+		t.Fatalf("rho = %g, want -1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 4, 5, 6}
+	y := []float64{1, 3, 3, 4, 6, 8}
+	rho, _, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.9 {
+		t.Fatalf("rho with ties = %g, want near 1", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, _, err := Spearman([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected short-input error")
+	}
+	if _, _, err := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected constant-input error")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	MinMaxNormalize(xs)
+	want := []float64{0, 0.5, 1}
+	for i := range xs {
+		if !near(xs[i], want[i], 1e-12) {
+			t.Fatalf("xs = %v", xs)
+		}
+	}
+	cs := []float64{3, 3, 3}
+	MinMaxNormalize(cs)
+	for _, v := range cs {
+		if v != 0 {
+			t.Fatalf("constant input should map to 0, got %v", cs)
+		}
+	}
+	MinMaxNormalize(nil) // must not panic
+}
+
+func TestL1(t *testing.T) {
+	d, err := L1Distance([]float64{1, 2}, []float64{3, 0})
+	if err != nil || !near(d, 4, 1e-12) {
+		t.Fatalf("L1Distance = %g err %v", d, err)
+	}
+	if _, err := L1Distance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if n := L1Norm([]float64{-1, 2, -3}); !near(n, 6, 1e-12) {
+		t.Fatalf("L1Norm = %g", n)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, sd := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !near(m, 5, 1e-12) || !near(sd, 2, 1e-12) {
+		t.Fatalf("m=%g sd=%g", m, sd)
+	}
+	m, sd = MeanStd([]float64{math.NaN(), 3})
+	if !near(m, 3, 1e-12) || !near(sd, 0, 1e-12) {
+		t.Fatalf("NaN not ignored: m=%g sd=%g", m, sd)
+	}
+	m, _ = MeanStd(nil)
+	if !math.IsNaN(m) {
+		t.Fatal("empty input should be NaN")
+	}
+}
+
+// Property: ranks of MinMax-normalized data are preserved.
+func TestMinMaxOrderProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		ys := append([]float64(nil), xs...)
+		MinMaxNormalize(ys)
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if (xs[i] < xs[j]) != (ys[i] < ys[j]) && xs[i] != xs[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MCC is always within [-1, 1] when defined.
+func TestMCCRangeProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		m := c.MCC()
+		return math.IsNaN(m) || (m >= -1-1e-9 && m <= 1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats implements the statistical machinery the Guardrail
+// reproduction needs with no dependencies beyond the standard library:
+// special functions (incomplete gamma/beta), chi-square and G² tests,
+// conditional-independence testing for discrete data, and the evaluation
+// metrics (F1, MCC, Spearman's ρ) used in §8 of the paper.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge is returned when an iterative special-function evaluation
+// fails to converge; callers should treat the test as inconclusive.
+var ErrNoConverge = errors.New("stats: series did not converge")
+
+const (
+	maxIter = 500
+	epsTol  = 3e-14
+	tiny    = 1e-300
+)
+
+// GammaIncLower returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a), for a > 0, x >= 0.
+func GammaIncLower(a, x float64) (float64, error) {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN(), errors.New("stats: GammaIncLower requires a > 0")
+	case x < 0:
+		return math.NaN(), errors.New("stats: GammaIncLower requires x >= 0")
+	case x == 0:
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		return p, err
+	}
+	q, err := gammaContinuedFraction(a, x)
+	return 1 - q, err
+}
+
+// GammaIncUpper returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaIncUpper(a, x float64) (float64, error) {
+	if x < a+1 {
+		p, err := GammaIncLower(a, x)
+		return 1 - p, err
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its power series (x < a+1).
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*epsTol {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by Lentz's continued fraction
+// (x >= a+1).
+func gammaContinuedFraction(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsTol {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square variable with k
+// degrees of freedom — the p-value of a chi-square/G² statistic.
+func ChiSquareSurvival(x float64, k int) (float64, error) {
+	if k <= 0 {
+		return math.NaN(), errors.New("stats: chi-square needs dof > 0")
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	return GammaIncUpper(float64(k)/2, x/2)
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b),
+// used for Student-t tail probabilities.
+func BetaInc(a, b, x float64) (float64, error) {
+	if x < 0 || x > 1 {
+		return math.NaN(), errors.New("stats: BetaInc requires 0 <= x <= 1")
+	}
+	if x == 0 || x == 1 {
+		return x, nil
+	}
+	lga, _ := math.Lgamma(a + b)
+	lgb, _ := math.Lgamma(a)
+	lgc, _ := math.Lgamma(b)
+	bt := math.Exp(lga - lgb - lgc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaCF(a, b, x)
+		return bt * cf / a, err
+	}
+	cf, err := betaCF(b, a, 1-x)
+	return 1 - bt*cf/b, err
+}
+
+func betaCF(a, b, x float64) (float64, error) {
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsTol {
+			return h, nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// StudentTSurvival returns the two-sided p-value P(|T| >= t) for a Student-t
+// variable with nu degrees of freedom.
+func StudentTSurvival(t float64, nu float64) (float64, error) {
+	if nu <= 0 {
+		return math.NaN(), errors.New("stats: Student-t needs dof > 0")
+	}
+	x := nu / (nu + t*t)
+	return BetaInc(nu/2, 0.5, x)
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGammaIncKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		p, err := GammaIncLower(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if !near(p, want, 1e-10) {
+			t.Fatalf("P(1,%g) = %g, want %g", x, p, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x))
+	for _, x := range []float64{0.2, 1, 3} {
+		p, err := GammaIncLower(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if !near(p, want, 1e-10) {
+			t.Fatalf("P(0.5,%g) = %g, want %g", x, p, want)
+		}
+	}
+}
+
+func TestGammaIncComplement(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%200)/10 // 0.5 .. 20.4
+		x := float64(xRaw%400) / 10     // 0 .. 39.9
+		p, err1 := GammaIncLower(a, x)
+		q, err2 := GammaIncUpper(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return near(p+q, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaIncDomain(t *testing.T) {
+	if _, err := GammaIncLower(0, 1); err == nil {
+		t.Fatal("expected error for a = 0")
+	}
+	if _, err := GammaIncLower(1, -1); err == nil {
+		t.Fatal("expected error for x < 0")
+	}
+}
+
+func TestChiSquareSurvivalKnown(t *testing.T) {
+	// Critical values: chi2(0.95, 1) = 3.841, chi2(0.95, 5) = 11.070.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{11.070, 5, 0.05},
+		{6.635, 1, 0.01},
+		{0, 3, 1},
+	}
+	for _, c := range cases {
+		p, err := ChiSquareSurvival(c.x, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(p, c.want, 5e-4) {
+			t.Fatalf("ChiSquareSurvival(%g, %d) = %g, want %g", c.x, c.k, p, c.want)
+		}
+	}
+	if _, err := ChiSquareSurvival(1, 0); err == nil {
+		t.Fatal("expected error for dof = 0")
+	}
+}
+
+func TestChiSquareMonotone(t *testing.T) {
+	prev := 2.0
+	for x := 0.0; x < 30; x += 0.5 {
+		p, err := ChiSquareSurvival(x, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("survival not monotone at x=%g: %g > %g", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBetaIncKnown(t *testing.T) {
+	// I_x(1,1) = x
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v, err := BetaInc(1, 1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(v, x, 1e-10) {
+			t.Fatalf("I_%g(1,1) = %g", x, v)
+		}
+	}
+	// I_x(2,2) = 3x^2 - 2x^3
+	for _, x := range []float64{0.1, 0.4, 0.9} {
+		v, err := BetaInc(2, 2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3*x*x - 2*x*x*x
+		if !near(v, want, 1e-10) {
+			t.Fatalf("I_%g(2,2) = %g, want %g", x, v, want)
+		}
+	}
+	if _, err := BetaInc(1, 1, 2); err == nil {
+		t.Fatal("expected domain error")
+	}
+}
+
+func TestStudentTSurvivalKnown(t *testing.T) {
+	// Two-sided critical values: t(0.975, 10) = 2.228.
+	p, err := StudentTSurvival(2.228, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(p, 0.05, 1e-3) {
+		t.Fatalf("p = %g, want 0.05", p)
+	}
+	// Symmetric in t.
+	p2, _ := StudentTSurvival(-2.228, 10)
+	if !near(p, p2, 1e-12) {
+		t.Fatalf("not symmetric: %g vs %g", p, p2)
+	}
+	if _, err := StudentTSurvival(1, 0); err == nil {
+		t.Fatal("expected error for dof = 0")
+	}
+}

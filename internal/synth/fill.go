@@ -1,0 +1,185 @@
+// Package synth implements Guardrail's two-stage synthesis: filling program
+// sketches with ε-valid branches (Alg. 1) and selecting the
+// maximum-coverage concrete program across the DAGs of a Markov
+// equivalence class (Alg. 2), with the statement-level cache described in
+// §7. The end-to-end Synthesizer (synthesizer.go) composes these with the
+// PC structure learner and the auxiliary-distribution sampler.
+package synth
+
+import (
+	"sort"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/sketch"
+)
+
+// FillOptions tunes Alg. 1.
+type FillOptions struct {
+	// Epsilon is the per-branch loss tolerance (Eqn. 3); default 0.02.
+	Epsilon float64
+	// MinSupport drops branches whose condition matches fewer rows; a
+	// branch learned from a single example is rarely a constraint
+	// (default 2).
+	MinSupport int
+}
+
+func (o *FillOptions) defaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.02
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 2
+	}
+}
+
+// FillStatement concretizes one statement sketch over rel (Alg. 1,
+// FillStmtSketch): the warranted conditions are the determinant-value
+// combinations observed in the data; each condition's best-fit literal is
+// the mode of the dependent attribute within the matching rows; a branch is
+// kept iff its 0/1 loss is within |D^b|·ε. It returns false when no branch
+// survives (the ⊥ case).
+func FillStatement(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl.Statement, bool) {
+	opts.defaults()
+	n := rel.NumRows()
+	if n == 0 || len(sk.Given) == 0 {
+		return dsl.Statement{}, false
+	}
+	givenCols := make([][]int32, len(sk.Given))
+	for i, g := range sk.Given {
+		givenCols[i] = rel.Column(g)
+	}
+	onCol := rel.Column(sk.On)
+
+	// Group rows by their determinant tuple; per group count dependent
+	// values to find the mode.
+	type group struct {
+		cond   []int32       // determinant values, aligned with sk.Given
+		counts map[int32]int // dependent value -> count
+		size   int
+	}
+	groups := map[string]*group{}
+	keyBuf := make([]byte, 0, len(sk.Given)*5)
+	for r := 0; r < n; r++ {
+		keyBuf = keyBuf[:0]
+		skip := false
+		for _, col := range givenCols {
+			v := col[r]
+			if v == dataset.Missing {
+				skip = true // a condition cannot test a missing determinant
+				break
+			}
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ':')
+		}
+		if skip {
+			continue
+		}
+		g := groups[string(keyBuf)]
+		if g == nil {
+			cond := make([]int32, len(sk.Given))
+			for i, col := range givenCols {
+				cond[i] = col[r]
+			}
+			g = &group{cond: cond, counts: map[int32]int{}}
+			groups[string(keyBuf)] = g
+		}
+		g.size++
+		g.counts[onCol[r]]++
+	}
+
+	var branches []dsl.Branch
+	for _, g := range groups {
+		if g.size < opts.MinSupport {
+			continue
+		}
+		mode, modeCount := int32(dataset.Missing), -1
+		for v, c := range g.counts {
+			if c > modeCount || (c == modeCount && v < mode) {
+				mode, modeCount = v, c
+			}
+		}
+		if mode == dataset.Missing {
+			continue // refusing to assert "must be missing"
+		}
+		loss := g.size - modeCount
+		if float64(loss) > float64(g.size)*opts.Epsilon {
+			continue
+		}
+		cond := make(dsl.Condition, len(sk.Given))
+		for i, a := range sk.Given {
+			cond[i] = dsl.Pred{Attr: a, Value: g.cond[i]}
+		}
+		branches = append(branches, dsl.Branch{Cond: cond, Value: mode})
+	}
+	if len(branches) == 0 {
+		return dsl.Statement{}, false
+	}
+	// Deterministic output order: sort by condition values.
+	sort.Slice(branches, func(i, j int) bool {
+		a, b := branches[i].Cond, branches[j].Cond
+		for k := range a {
+			if a[k].Value != b[k].Value {
+				return a[k].Value < b[k].Value
+			}
+		}
+		return branches[i].Value < branches[j].Value
+	})
+	return dsl.Statement{
+		Given:    append([]int(nil), sk.Given...),
+		On:       sk.On,
+		Branches: branches,
+	}, true
+}
+
+// StatementCache memoizes FillStatement results across the DAGs of a MEC:
+// two DAGs sharing a (GIVEN set, ON) pair concretize it identically, so the
+// cache eliminates the redundant concretizations noted in §7. The zero
+// value is ready to use.
+type StatementCache struct {
+	entries map[string]cachedStmt
+	hits    int
+	misses  int
+}
+
+type cachedStmt struct {
+	stmt dsl.Statement
+	ok   bool
+}
+
+// Fill returns the cached concretization of sk, computing it on a miss.
+func (c *StatementCache) Fill(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl.Statement, bool) {
+	if c.entries == nil {
+		c.entries = map[string]cachedStmt{}
+	}
+	key := sk.Key()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e.stmt, e.ok
+	}
+	c.misses++
+	stmt, ok := FillStatement(rel, sk, opts)
+	c.entries[key] = cachedStmt{stmt: stmt, ok: ok}
+	return stmt, ok
+}
+
+// Stats reports cache effectiveness.
+func (c *StatementCache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// FillProgram concretizes every statement of a program sketch (Alg. 1,
+// outer loop), dropping statements that concretize to ⊥. cache may be nil.
+func FillProgram(rel *dataset.Relation, p sketch.Prog, opts FillOptions, cache *StatementCache) *dsl.Program {
+	prog := &dsl.Program{}
+	for _, sk := range p.Stmts {
+		var stmt dsl.Statement
+		var ok bool
+		if cache != nil {
+			stmt, ok = cache.Fill(rel, sk, opts)
+		} else {
+			stmt, ok = FillStatement(rel, sk, opts)
+		}
+		if ok {
+			prog.Stmts = append(prog.Stmts, stmt)
+		}
+	}
+	return prog
+}

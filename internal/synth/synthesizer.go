@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/pc"
+	"github.com/guardrail-db/guardrail/internal/sketch"
+	"github.com/guardrail-db/guardrail/internal/stats"
+)
+
+// Options configures the end-to-end synthesizer.
+type Options struct {
+	// Epsilon is the ε-validity threshold (recommended 0.01–0.05, §8.3).
+	Epsilon float64
+	// MinSupport is the branch support floor (see FillOptions).
+	MinSupport int
+	// Alpha is the significance level of the structure learner's CI tests
+	// (default 0.01).
+	Alpha float64
+	// MaxCond caps PC conditioning-set size (default 3).
+	MaxCond int
+	// MaxDAGs caps the MEC enumeration of Alg. 2 (default 256).
+	MaxDAGs int
+	// UseAux enables the auxiliary-distribution sampler (§4.6); the
+	// identity sampler is the Table 8 ablation (default true — set
+	// IdentitySampler to disable).
+	IdentitySampler bool
+	// AuxShifts / AuxMaxSamples tune auxdist.Sample.
+	AuxShifts     int
+	AuxMaxSamples int
+	// CheckGNT prunes sketches that fail global non-triviality before
+	// filling (default true — set SkipGNT to disable).
+	SkipGNT bool
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.02
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.01
+	}
+	if o.MaxCond == 0 {
+		o.MaxCond = 3
+	}
+	if o.MaxDAGs == 0 {
+		o.MaxDAGs = 256
+	}
+}
+
+// Result is the synthesis outcome plus the bookkeeping the evaluation
+// tables report.
+type Result struct {
+	Program *dsl.Program
+	CPDAG   *graph.PDAG
+	// Coverage of the selected program on the training relation.
+	Coverage float64
+	// NumDAGs is the number of MEC members enumerated (Table 7).
+	NumDAGs int
+	// EnumTruncated is set when MaxDAGs stopped the enumeration early.
+	EnumTruncated bool
+	// Timing breakdown.
+	LearnTime time.Duration // structure learning (incl. aux sampling)
+	EnumTime  time.Duration // MEC enumeration
+	FillTime  time.Duration // sketch filling + selection
+	// CacheHits/CacheMisses report statement-cache effectiveness.
+	CacheHits, CacheMisses int
+	// CITests is the number of independence tests run by PC.
+	CITests int
+}
+
+// TotalTime is the summed pipeline time (Table 4).
+func (r *Result) TotalTime() time.Duration { return r.LearnTime + r.EnumTime + r.FillTime }
+
+// Synthesize runs the full Guardrail pipeline on rel: sample the auxiliary
+// distribution, learn the CPDAG with PC, enumerate the MEC, fill each DAG's
+// sketch (with the statement-level cache), and return the maximum-coverage
+// ε-valid program (Alg. 2).
+func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
+	opts.defaults()
+	if rel.NumRows() < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 rows, have %d", rel.NumRows())
+	}
+	res := &Result{}
+
+	// Stage 1: structure learning.
+	t0 := time.Now()
+	var data stats.Data
+	if opts.IdentitySampler {
+		data = auxdist.Identity(rel)
+	} else {
+		aux, err := auxdist.Sample(rel, auxdist.Options{
+			Shifts:     opts.AuxShifts,
+			MaxSamples: opts.AuxMaxSamples,
+			Seed:       opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("synth: auxiliary sampling: %w", err)
+		}
+		data = aux
+	}
+	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond})
+	if err != nil {
+		return nil, fmt.Errorf("synth: structure learning: %w", err)
+	}
+	res.CPDAG = learned.CPDAG
+	res.CITests = learned.Tests
+	res.LearnTime = time.Since(t0)
+
+	// Stage 2: MEC enumeration (Alg. 2 outer loop).
+	t1 := time.Now()
+	dags, err := graph.EnumerateMEC(learned.CPDAG, opts.MaxDAGs)
+	if err == graph.ErrEnumLimit {
+		res.EnumTruncated = true
+	} else if err != nil {
+		return nil, fmt.Errorf("synth: MEC enumeration: %w", err)
+	}
+	res.NumDAGs = len(dags)
+	res.EnumTime = time.Since(t1)
+
+	// Stage 3: fill sketches and pick the maximum-coverage program.
+	t2 := time.Now()
+	fill := FillOptions{Epsilon: opts.Epsilon, MinSupport: opts.MinSupport}
+	cache := &StatementCache{}
+	best := &dsl.Program{}
+	bestCov := -1.0
+	for _, d := range dags {
+		sk := sketch.FromDAG(d)
+		if !opts.SkipGNT {
+			sk = pruneNonLNT(sk, data, opts.Alpha)
+		}
+		prog := FillProgram(rel, sk, fill, cache)
+		cov := dsl.Coverage(prog, rel)
+		if cov > bestCov || (cov == bestCov && len(prog.Stmts) > len(best.Stmts)) {
+			best, bestCov = prog, cov
+		}
+	}
+	if bestCov < 0 {
+		bestCov = 0
+	}
+	res.Program = best
+	res.Coverage = bestCov
+	res.CacheHits, res.CacheMisses = cache.Stats()
+	res.FillTime = time.Since(t2)
+	return res, nil
+}
+
+// pruneNonLNT drops statement sketches that fail local non-triviality —
+// conservative screening before the expensive fill. (Sketches extracted
+// from the learned CPDAG are GNT by Theorem 4.1 when the CPDAG is faithful;
+// the LNT re-check guards against finite-sample artifacts.)
+func pruneNonLNT(p sketch.Prog, d stats.Data, alpha float64) sketch.Prog {
+	var out sketch.Prog
+	for _, s := range p.Stmts {
+		ok, err := sketch.LNT(s, d, alpha)
+		if err == nil && ok {
+			out.Stmts = append(out.Stmts, s)
+		}
+	}
+	return out
+}
