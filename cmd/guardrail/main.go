@@ -7,6 +7,7 @@
 //	guardrail rectify -in dirty.csv -prog constraints.gr -out clean.csv
 //	guardrail show    -in data.csv
 //	guardrail analyze -in data.csv -prog constraints.gr
+//	guardrail lint    -in data.csv -prog constraints.gr
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show> [flags]")
+		return fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint> [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -44,6 +46,8 @@ func run(args []string) error {
 		return cmdShow(args[1:])
 	case "analyze":
 		return cmdAnalyze(args[1:])
+	case "lint":
+		return cmdLint(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -128,8 +132,66 @@ func cmdSynth(args []string) error {
 	} else if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "synthesized %d statements (coverage %.3f, %d DAGs in MEC, %s total)\n",
-		len(res.Program.Stmts), res.Coverage, res.NumDAGs, res.TotalTime().Round(1000))
+	fmt.Fprintf(os.Stderr, "synthesized %d statements (coverage %.3f, %d DAGs in MEC, %d candidates pruned by verifier, %s total)\n",
+		len(res.Program.Stmts), res.Coverage, res.NumDAGs, res.PrunedPrograms, res.TotalTime().Round(1000))
+	return nil
+}
+
+// cmdLint runs the semantic verifier over a constraint file — the offline
+// counterpart of the pruning gate inside the synthesizer. Findings print on
+// stdout; error-severity findings (or any finding under -strict) make the
+// command exit nonzero.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	in := fs.String("in", "", "CSV the program applies to (required)")
+	prog := fs.String("prog", "", "constraint file to lint (required)")
+	strict := fs.Bool("strict", false, "treat warnings as errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *prog == "" {
+		return fmt.Errorf("lint: -in and -prog are required")
+	}
+	rel, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*prog)
+	if err != nil {
+		return err
+	}
+	// Snapshot dictionary sizes: Parse interns unseen literals, so growth
+	// means the program mentions values that never occur in the dataset —
+	// the CLI-level form of a domain violation.
+	before := make([]int, rel.NumAttrs())
+	for a := range before {
+		before[a] = rel.Cardinality(a)
+	}
+	program, err := dsl.Parse(string(src), rel)
+	if err != nil {
+		return err
+	}
+	findings := verify.Program(program, rel)
+	errors, warnings := 0, 0
+	for a := range before {
+		if grown := rel.Cardinality(a) - before[a]; grown > 0 {
+			fmt.Printf("%s: warning [domain-violation]: %d literal(s) of %s never occur in %s\n",
+				*prog, grown, rel.Attr(a), *in)
+			warnings++
+		}
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", *prog, f)
+		if f.Severity == verify.Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	if errors > 0 || (*strict && warnings > 0) {
+		return fmt.Errorf("lint: %d errors, %d warnings in %s", errors, warnings, *prog)
+	}
+	fmt.Printf("%s: %d statements verified clean (%d warnings)\n", *prog, len(program.Stmts), warnings)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +44,91 @@ func TestEndToEndWorkflow(t *testing.T) {
 	if err := run([]string{"analyze", "-in", data, "-prog", prog}); err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
+	// A freshly synthesized program must lint clean: the synthesizer's
+	// verification gate prunes anything the linter would reject.
+	if err := run([]string{"lint", "-in", data, "-prog", prog}); err != nil {
+		t.Fatalf("lint on synthesized program: %v", err)
+	}
+}
+
+// TestLintDegenerateProgram checks the lint subcommand's failure path: a
+// constraint file with a contradictory branch pair must exit nonzero with
+// findings on stdout.
+func TestLintDegenerateProgram(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(data, []byte("a,b\n0,0\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := filepath.Join(dir, "bad.gr")
+	src := `GIVEN a ON b HAVING
+  IF a = "0" THEN b <- "0";
+  IF a = "0" THEN b <- "1";
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() {
+		if err := run([]string{"lint", "-in", data, "-prog", prog}); err == nil {
+			t.Error("lint accepted a contradictory program")
+		}
+	})
+	if !strings.Contains(out, "contradiction") {
+		t.Fatalf("lint output missing contradiction finding:\n%s", out)
+	}
+}
+
+// TestLintStrictPromotesWarnings: a duplicate branch is only a warning, so
+// plain lint passes and -strict fails.
+func TestLintStrictPromotesWarnings(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(data, []byte("a,b\n0,0\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := filepath.Join(dir, "dup.gr")
+	src := `GIVEN a ON b HAVING
+  IF a = "0" THEN b <- "0";
+  IF a = "0" THEN b <- "0";
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"lint", "-in", data, "-prog", prog}); err != nil {
+		t.Fatalf("warning-only program failed plain lint: %v", err)
+	}
+	if err := run([]string{"lint", "-in", data, "-prog", prog, "-strict"}); err == nil {
+		t.Fatal("strict lint accepted a program with warnings")
+	}
+}
+
+func TestLintErrors(t *testing.T) {
+	if err := run([]string{"lint"}); err == nil {
+		t.Fatal("lint without flags accepted")
+	}
+	if err := run([]string{"lint", "-in", "/nonexistent", "-prog", "/nonexistent"}); err == nil {
+		t.Fatal("lint with missing files accepted")
+	}
+}
+
+// captureStdout redirects os.Stdout around f and returns what was printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }
 
 func TestSynthJSONOutput(t *testing.T) {

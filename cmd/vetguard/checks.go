@@ -1,0 +1,284 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checker lints one file with the package's type information.
+type checker struct {
+	fset     *token.FileSet
+	info     *types.Info
+	file     *ast.File
+	findings []Finding
+}
+
+func (c *checker) report(pos token.Pos, check, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pos:     c.fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) run() {
+	for _, decl := range c.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		c.checkFunc(fn.Body)
+	}
+}
+
+// checkFunc applies all three checks within one function body.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			c.checkMapRange(n, body)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				c.checkIgnoredError(call)
+			}
+		case *ast.CallExpr:
+			c.checkGlobalRand(n)
+		}
+		return true
+	})
+}
+
+// --- check: globalrand ---
+
+// constructors of independent sources are the legitimate uses of the
+// package-level API; everything else draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkGlobalRand flags calls through the math/rand package object itself
+// (rand.Intn, rand.Shuffle, ...): library code must draw from a seeded
+// *rand.Rand so experiments are reproducible.
+func (c *checker) checkGlobalRand(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := c.info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pkg.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if randConstructors[sel.Sel.Name] {
+		return
+	}
+	c.report(call.Pos(), "globalrand",
+		"call to global %s.%s breaks seeded reproducibility; draw from a *rand.Rand built with rand.New(rand.NewSource(seed))",
+		path, sel.Sel.Name)
+}
+
+// --- check: ignorederr ---
+
+// fmtPrinters are fmt functions whose error returns are discarded by
+// convention (writes to stdout/stderr); mirroring errcheck's defaults.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// checkIgnoredError flags expression-statement calls whose (last) result is
+// an error nobody looks at. Deferred calls (defer f.Close()) are statements
+// of a different kind and are deliberately not flagged.
+func (c *checker) checkIgnoredError(call *ast.CallExpr) {
+	t := c.info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	returnsErr := false
+	switch tt := t.(type) {
+	case *types.Tuple:
+		if tt.Len() > 0 {
+			returnsErr = isErrorType(tt.At(tt.Len() - 1).Type())
+		}
+	default:
+		returnsErr = isErrorType(t)
+	}
+	if !returnsErr || c.errExempt(call) {
+		return
+	}
+	c.report(call.Pos(), "ignorederr", "result of %s returns an error that is silently discarded", calleeName(call))
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errExempt reports whether call's discarded error is conventionally safe:
+// the fmt print family and methods on in-memory builders that document
+// a nil error.
+func (c *checker) errExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, ok := c.info.Uses[selIdent(sel)].(*types.PkgName); ok {
+		if pkg.Imported().Path() == "fmt" && fmtPrinters[sel.Sel.Name] {
+			return true
+		}
+		return false
+	}
+	if s, ok := c.info.Selections[sel]; ok {
+		recv := s.Recv().String()
+		if strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+func selIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+// calleeName renders the called expression for the message.
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// --- check: maprange ---
+
+// checkMapRange flags `for ... := range m` over a map when the iteration
+// appends to a slice that outlives the loop (without the slice being sorted
+// later in the function) or writes directly to an output stream: Go
+// randomizes map iteration order, so either sink makes the result differ
+// run to run.
+func (c *checker) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	t := c.info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	var appendTargets []string
+	var outputCall string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !c.isBuiltinAppend(call) || i >= len(n.Lhs) {
+					continue
+				}
+				tgt := n.Lhs[i]
+				if c.declaredWithin(tgt, rs.Body) {
+					continue // per-iteration accumulator; order cannot leak
+				}
+				appendTargets = append(appendTargets, types.ExprString(tgt))
+			}
+		case *ast.CallExpr:
+			if outputCall == "" && c.isOutputCall(n) {
+				outputCall = calleeName(n)
+			}
+		}
+		return true
+	})
+
+	if outputCall != "" {
+		c.report(rs.Pos(), "maprange",
+			"map iteration writes output via %s in nondeterministic order", outputCall)
+	}
+	for _, tgt := range appendTargets {
+		if c.sortedAfter(tgt, rs, fnBody) {
+			continue
+		}
+		c.report(rs.Pos(), "maprange",
+			"map iteration appends to %s in nondeterministic order and %s is never sorted afterwards", tgt, tgt)
+	}
+}
+
+func (c *checker) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := c.info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin || obj == nil
+}
+
+// declaredWithin reports whether expr is an identifier whose declaration
+// lies inside node (e.g. a slice created fresh on every loop iteration).
+// Selector expressions (struct fields) always count as outer.
+func (c *checker) declaredWithin(expr ast.Expr, node ast.Node) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// isOutputCall reports whether call writes to an output stream: the fmt
+// print family or a Write*/print method on any receiver.
+func (c *checker) isOutputCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, ok := c.info.Uses[selIdent(sel)].(*types.PkgName); ok {
+		return pkg.Imported().Path() == "fmt" && fmtPrinters[sel.Sel.Name]
+	}
+	name := sel.Sel.Name
+	return strings.HasPrefix(name, "Write") || name == "Print" || name == "Printf"
+}
+
+// sortedAfter reports whether a sort package call mentioning target appears
+// after the range statement within the enclosing function — the canonical
+// collect-then-sort idiom.
+func (c *checker) sortedAfter(target string, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := c.info.Uses[selIdent(sel)].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), target) {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,216 @@
+// Command vetguard is the project-specific Go source linter — the second
+// layer of Guardrail's static-analysis subsystem. Where internal/dsl/verify
+// checks synthesized programs, vetguard checks the Go code that synthesizes
+// them, enforcing the determinism and hygiene invariants a reproducible
+// experiment pipeline depends on:
+//
+//	maprange:   iteration over a map whose keys/values flow into a slice
+//	            or output stream without a subsequent sort — synthesis
+//	            output must be byte-stable across runs
+//	globalrand: use of the global math/rand source in non-test code —
+//	            experiments must draw from seeded *rand.Rand instances
+//	ignorederr: a call whose error result is silently discarded
+//
+// Usage:
+//
+//	go run ./cmd/vetguard ./...
+//
+// Findings print as file:line:col: [check] message and make the process
+// exit 1. A finding can be suppressed with a `//vetguard:ignore` comment on
+// the same line or the line above. Only stdlib go/ast, go/parser and
+// go/types are used; package metadata and export data come from `go list`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	findings, err := analyze(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetguard:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vetguard: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// listedPkg is the subset of `go list -json` output vetguard needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// analyze lints the packages matched by patterns (default "./...") and
+// returns the findings sorted by position.
+func analyze(patterns []string) ([]Finding, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("vetguard: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var findings []Finding
+	linted := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		fs, err := lintPackage(p, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		linted++
+		findings = append(findings, fs...)
+	}
+	// A typo'd pattern must not look like a clean run: with `go list -e` a
+	// nonexistent path still yields an entry, just one with no GoFiles.
+	if linted == 0 {
+		return nil, fmt.Errorf("no lintable packages matched %s", strings.Join(patterns, " "))
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// goList resolves patterns to packages with compiled export data via the go
+// command: `-export` populates .Export for every package in the `-deps`
+// closure, which is exactly what the typechecker's importer needs.
+func goList(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lintPackage parses, typechecks and lints one package. Test files are not
+// listed in GoFiles, so all three checks see only non-test code.
+func lintPackage(p listedPkg, imp types.Importer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		// Keep going on type errors (e.g. a package that no longer
+		// compiles): checks degrade gracefully on partial info.
+		Error: func(error) {},
+	}
+	_, _ = conf.Check(p.ImportPath, fset, files, info)
+
+	var findings []Finding
+	for _, file := range files {
+		suppressed := suppressedLines(fset, file)
+		c := &checker{fset: fset, info: info, file: file}
+		c.run()
+		for _, f := range c.findings {
+			if suppressed[f.Pos.Line] {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	return findings, nil
+}
+
+// suppressedLines collects the lines covered by //vetguard:ignore comments:
+// the comment's own line and the line below it.
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "vetguard:ignore") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}

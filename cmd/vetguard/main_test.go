@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// countByCheck buckets findings by check name.
+func countByCheck(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Check]++
+	}
+	return out
+}
+
+// TestBuggyFixture: every seeded bug class is flagged, the annotated
+// instance is suppressed.
+func TestBuggyFixture(t *testing.T) {
+	findings, err := analyze([]string{"./testdata/src/buggy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countByCheck(findings)
+	want := map[string]int{"maprange": 3, "globalrand": 2, "ignorederr": 1}
+	for check, n := range want {
+		if got[check] != n {
+			t.Errorf("%s: got %d findings, want %d\nall: %v", check, got[check], n, findings)
+		}
+	}
+	if total := len(findings); total != 6 {
+		t.Errorf("total findings = %d, want 6 (is the //vetguard:ignore annotation honored?)\n%v", total, findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "buggy") {
+			t.Errorf("finding outside fixture: %v", f)
+		}
+		if f.Pos.Line <= 0 || f.Message == "" {
+			t.Errorf("malformed finding: %v", f)
+		}
+	}
+}
+
+// TestCleanFixture: exonerated idioms (collect-then-sort, per-iteration
+// accumulators, seeded sources, handled errors, deferred Close) pass.
+func TestCleanFixture(t *testing.T) {
+	findings, err := analyze([]string{"./testdata/src/clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", findings)
+	}
+}
+
+// TestRepositoryIsClean is the acceptance gate: the whole module must lint
+// clean, so CI's `go run ./cmd/vetguard ./...` exits 0.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	findings, err := analyze([]string{"github.com/guardrail-db/guardrail/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repository has vetguard findings:\n%v", findings)
+	}
+}

@@ -1,0 +1,54 @@
+// Package buggy is a vetguard test fixture: each bug class the linter must
+// catch appears here, plus one annotated instance that must be suppressed.
+package buggy
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// MapRangeAppend leaks map iteration order into the returned slice.
+func MapRangeAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapRangePrint writes rows in map iteration order.
+func MapRangePrint(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// MapRangeFieldAppend leaks map order into a struct field.
+type collector struct{ rows []string }
+
+func (c *collector) MapRangeFieldAppend(m map[string]bool) {
+	for k := range m {
+		c.rows = append(c.rows, k)
+	}
+}
+
+// GlobalRand draws from the shared process-wide source.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// GlobalShuffle also goes through the global source.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// IgnoredError discards os.Remove's error result.
+func IgnoredError(path string) {
+	os.Remove(path)
+}
+
+// SuppressedError is exempted by annotation.
+func SuppressedError(path string) {
+	os.Remove(path) //vetguard:ignore best-effort cleanup
+}

@@ -1,0 +1,77 @@
+// Package clean is a vetguard test fixture of patterns that must NOT be
+// flagged: the collect-then-sort idiom, order-insensitive accumulation,
+// seeded rand sources, and handled errors.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// SortedKeys is the canonical deterministic map iteration.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedSlice exonerates via sort.Slice after the loop.
+func SortedSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Sum accumulates order-insensitively.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerIteration appends only to a slice scoped to one iteration.
+func PerIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// SeededRand draws from an owned, seeded source.
+func SeededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// HandledError propagates the error.
+func HandledError(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	fmt.Println("removed", path)
+	return nil
+}
+
+// DeferredClose follows the defer-Close convention, which is not flagged.
+func DeferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

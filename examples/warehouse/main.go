@@ -33,8 +33,11 @@ func main() {
 		}
 	}
 	wards := dataset.New("wards", []string{"wname", "building"})
-	wards.AppendRow([]string{"isolation", "east"})
-	wards.AppendRow([]string{"general", "west"})
+	for _, w := range [][]string{{"isolation", "east"}, {"general", "west"}} {
+		if err := wards.AppendRow(w); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	catalog := sqlexec.NewCatalog()
 	catalog.Register("admissions", withWard)

@@ -47,6 +47,49 @@ func FormatStatement(b *strings.Builder, s Statement, rel *dataset.Relation) {
 	}
 }
 
+// AttrName resolves attribute index a through rel, falling back to a
+// positional placeholder when rel is nil (tooling over schema-less
+// programs, e.g. the verifier's unit tests).
+func AttrName(a int, rel *dataset.Relation) string {
+	if rel == nil || a < 0 || a >= rel.NumAttrs() {
+		return fmt.Sprintf("attr#%d", a)
+	}
+	return rel.Attr(a)
+}
+
+// LiteralString resolves literal code v of attribute a through rel's
+// dictionary, falling back to the raw code when rel is nil or the code is
+// out of range.
+func LiteralString(a int, v int32, rel *dataset.Relation) string {
+	if rel != nil && a >= 0 && a < rel.NumAttrs() && (v == dataset.Missing || (v >= 0 && int(v) < rel.Cardinality(a))) {
+		return fmt.Sprintf("%q", rel.Dict(a).Value(v))
+	}
+	return fmt.Sprintf("code(%d)", v)
+}
+
+// FormatCondition renders c in the surface syntax ('a = "x" AND b = "y"'),
+// resolving names through rel when non-nil. The empty condition renders as
+// "TRUE" (it matches every row).
+func FormatCondition(c Condition, rel *dataset.Relation) string {
+	if len(c) == 0 {
+		return "TRUE"
+	}
+	var b strings.Builder
+	for i, pr := range c {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s = %s", AttrName(pr.Attr, rel), LiteralString(pr.Attr, pr.Value, rel))
+	}
+	return b.String()
+}
+
+// FormatBranch renders one branch ("IF c THEN a <- l") for diagnostics.
+func FormatBranch(br Branch, on int, rel *dataset.Relation) string {
+	return fmt.Sprintf("IF %s THEN %s <- %s",
+		FormatCondition(br.Cond, rel), AttrName(on, rel), LiteralString(on, br.Value, rel))
+}
+
 // --- parser ---
 
 type tokKind int

@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// FuzzVerify decodes arbitrary bytes into a program (mirroring the grammar
+// the way dsl.FuzzParse mirrors the surface syntax) and asserts the
+// verifier never panics and anchors every finding inside the program —
+// even on programs whose indices stray outside the schema.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 1, 1, 0, 0})
+	f.Add([]byte{2, 1, 0, 1, 2, 0, 0, 1, 0, 0, 1, 1, 1, 0, 2, 1, 1, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{3, 0, 9, 0, 200, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeProgram(data)
+		rel := dataset.New("t", []string{"a", "b", "c", "d"})
+		rel.AppendRow([]string{"0", "0", "0", "0"})
+		rel.AppendRow([]string{"1", "1", "1", "1"})
+
+		for _, r := range []*dataset.Relation{rel, nil} {
+			fs := Program(prog, r)
+			for _, fd := range fs {
+				if fd.Stmt < 0 || fd.Stmt >= len(prog.Stmts) {
+					t.Fatalf("finding outside program: %+v (program has %d stmts)", fd, len(prog.Stmts))
+				}
+				if fd.Branch >= len(prog.Stmts[fd.Stmt].Branches) {
+					t.Fatalf("finding outside statement: %+v", fd)
+				}
+				if fd.Message == "" {
+					t.Fatalf("empty message: %+v", fd)
+				}
+			}
+		}
+	})
+}
+
+// decodeProgram deterministically maps bytes to a program. Attribute and
+// literal values are taken modulo a range slightly larger than the test
+// schema so out-of-domain indices are exercised too.
+func decodeProgram(data []byte) *dsl.Program {
+	i := 0
+	next := func() int {
+		if i >= len(data) {
+			return 0
+		}
+		v := int(data[i])
+		i++
+		return v
+	}
+	prog := &dsl.Program{}
+	nStmts := next() % 5
+	for s := 0; s < nStmts; s++ {
+		var st dsl.Statement
+		nGiven := next() % 4
+		for g := 0; g < nGiven; g++ {
+			st.Given = append(st.Given, next()%6-1)
+		}
+		st.On = next()%6 - 1
+		nBranches := next() % 5
+		for b := 0; b < nBranches; b++ {
+			var br dsl.Branch
+			nAtoms := next() % 4
+			for a := 0; a < nAtoms; a++ {
+				br.Cond = append(br.Cond, dsl.Pred{
+					Attr:  next()%6 - 1,
+					Value: int32(next()%5 - 2),
+				})
+			}
+			br.Value = int32(next()%5 - 2)
+			st.Branches = append(st.Branches, br)
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	return prog
+}

@@ -1,0 +1,397 @@
+// Package verify is the semantic verifier for synthesized DSL programs —
+// the first layer of Guardrail's static-analysis subsystem. A program that
+// parses and validates (dsl.Validate) can still be degenerate: branches can
+// contradict or shadow each other, statements can form cyclic determinant
+// chains, literals can fall outside the dataset dictionary, and whole
+// statements can be dead. Such programs silently weaken the runtime
+// guardrail (a shadowed branch never fires; a contradictory pair rectifies
+// rows to the wrong value), so the synthesizer prunes candidates the
+// verifier rejects before coverage scoring, and `guardrail lint` exposes
+// the same checks on constraint files.
+//
+// Decision procedures come from the equality-atom satisfiability core in
+// internal/smt/sat; messages are rendered through internal/dsl/text.go so
+// findings read in the paper's surface syntax.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/smt/sat"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Warning marks redundancy or suspicious structure that does not change
+	// runtime behavior (duplicate branches, cyclic determinant chains).
+	Warning Severity = iota
+	// Error marks semantic defects that make the program untrustworthy as a
+	// guardrail (contradictions, domain violations, dead statements).
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Class identifies the diagnostic.
+type Class int
+
+const (
+	// Contradiction: a branch whose condition is subsumed by an earlier
+	// branch of the same statement but assigns a different value — the
+	// later branch can never take effect and disagrees with the one that
+	// shadows it.
+	Contradiction Class = iota
+	// Unreachable: a branch that can never fire — its condition is
+	// unsatisfiable, or an earlier branch with the same assignment already
+	// matches every row it would match (subsumption).
+	Unreachable
+	// SelfDependency: a statement whose dependent attribute appears in its
+	// own GIVEN set or is tested by one of its branch conditions.
+	SelfDependency
+	// Cycle: statements whose determinant chains form a directed cycle
+	// (a determines b, b determines a), making rectification order-sensitive.
+	Cycle
+	// DomainViolation: an attribute index or literal code outside the
+	// dataset dictionary, a condition atom on an attribute outside GIVEN,
+	// or a branch asserting missingness.
+	DomainViolation
+	// DeadStatement: a statement with no branches, or whose every branch is
+	// unreachable.
+	DeadStatement
+)
+
+func (c Class) String() string {
+	switch c {
+	case Contradiction:
+		return "contradiction"
+	case Unreachable:
+		return "unreachable"
+	case SelfDependency:
+		return "self-dependency"
+	case Cycle:
+		return "cycle"
+	case DomainViolation:
+		return "domain-violation"
+	case DeadStatement:
+		return "dead-statement"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Finding is one diagnostic with its location inside the program.
+type Finding struct {
+	Class    Class
+	Severity Severity
+	// Stmt is the statement index within the program.
+	Stmt int
+	// Branch is the branch index within the statement, or -1 for
+	// statement-level findings.
+	Branch int
+	// Other is the index of the related branch (Contradiction/Unreachable)
+	// or statement (Cycle), or -1.
+	Other int
+	// Message is the human-readable diagnosis in the surface syntax.
+	Message string
+}
+
+// String renders the finding as "severity stmt 2 branch 1 [class]: message".
+func (f Finding) String() string {
+	loc := fmt.Sprintf("stmt %d", f.Stmt)
+	if f.Branch >= 0 {
+		loc += fmt.Sprintf(" branch %d", f.Branch)
+	}
+	return fmt.Sprintf("%s %s [%s]: %s", f.Severity, loc, f.Class, f.Message)
+}
+
+// HasErrors reports whether any finding is Error-severity.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Program runs every check over p. rel supplies the dataset dictionary for
+// domain checks and attribute/literal names in messages; it may be nil, in
+// which case domain bounds are not checked and messages fall back to
+// positional names. The returned findings are ordered by statement, then
+// branch, then class.
+func Program(p *dsl.Program, rel *dataset.Relation) []Finding {
+	var out []Finding
+	if p == nil {
+		return nil
+	}
+	for si := range p.Stmts {
+		out = append(out, checkStatement(p, si, rel)...)
+	}
+	out = append(out, checkCycles(p, rel)...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Stmt != b.Stmt {
+			return a.Stmt < b.Stmt
+		}
+		if a.Branch != b.Branch {
+			return a.Branch < b.Branch
+		}
+		return a.Class < b.Class
+	})
+	return out
+}
+
+func checkStatement(p *dsl.Program, si int, rel *dataset.Relation) []Finding {
+	s := &p.Stmts[si]
+	var out []Finding
+
+	// Self-dependency: ON inside GIVEN.
+	for _, g := range s.Given {
+		if g == s.On {
+			out = append(out, Finding{
+				Class: SelfDependency, Severity: Error, Stmt: si, Branch: -1, Other: -1,
+				Message: fmt.Sprintf("dependent attribute %s appears in its own GIVEN set",
+					dsl.AttrName(s.On, rel)),
+			})
+			break
+		}
+	}
+
+	if len(s.Branches) == 0 {
+		out = append(out, Finding{
+			Class: DeadStatement, Severity: Error, Stmt: si, Branch: -1, Other: -1,
+			Message: fmt.Sprintf("statement ON %s has no branches", dsl.AttrName(s.On, rel)),
+		})
+		return out
+	}
+
+	given := make(map[int]bool, len(s.Given))
+	for _, g := range s.Given {
+		given[g] = true
+	}
+
+	dead := make([]bool, len(s.Branches))
+	for bi, b := range s.Branches {
+		// Self-dependency: a condition atom testing the dependent attribute.
+		for _, pr := range b.Cond {
+			if pr.Attr == s.On {
+				out = append(out, Finding{
+					Class: SelfDependency, Severity: Error, Stmt: si, Branch: bi, Other: -1,
+					Message: fmt.Sprintf("condition tests the dependent attribute %s",
+						dsl.AttrName(s.On, rel)),
+				})
+			} else if !given[pr.Attr] {
+				out = append(out, Finding{
+					Class: DomainViolation, Severity: Warning, Stmt: si, Branch: bi, Other: -1,
+					Message: fmt.Sprintf("condition tests %s, which is outside the GIVEN set",
+						dsl.AttrName(pr.Attr, rel)),
+				})
+			}
+		}
+
+		// Domain checks against the dictionary.
+		out = append(out, checkDomain(s, si, bi, rel)...)
+
+		// Unsatisfiable condition: same attribute bound to two literals.
+		if !sat.Satisfiable(b.Cond) {
+			dead[bi] = true
+			out = append(out, Finding{
+				Class: Unreachable, Severity: Error, Stmt: si, Branch: bi, Other: -1,
+				Message: fmt.Sprintf("condition %s is unsatisfiable (conflicting atoms on one attribute)",
+					dsl.FormatCondition(b.Cond, rel)),
+			})
+			continue
+		}
+
+		// Subsumption against earlier live branches: first match wins, so a
+		// branch implied by an earlier one never fires.
+		for ei := 0; ei < bi; ei++ {
+			if dead[ei] {
+				continue
+			}
+			if !sat.Implies(b.Cond, s.Branches[ei].Cond) {
+				continue
+			}
+			dead[bi] = true
+			if s.Branches[ei].Value != b.Value {
+				out = append(out, Finding{
+					Class: Contradiction, Severity: Error, Stmt: si, Branch: bi, Other: ei,
+					Message: fmt.Sprintf("%s is shadowed by branch %d, which assigns %s <- %s instead",
+						dsl.FormatBranch(b, s.On, rel), ei,
+						dsl.AttrName(s.On, rel), dsl.LiteralString(s.On, s.Branches[ei].Value, rel)),
+				})
+			} else {
+				out = append(out, Finding{
+					Class: Unreachable, Severity: Warning, Stmt: si, Branch: bi, Other: ei,
+					Message: fmt.Sprintf("%s duplicates branch %d and never fires",
+						dsl.FormatBranch(b, s.On, rel), ei),
+				})
+			}
+			break
+		}
+	}
+
+	// Dead statement: every branch unreachable.
+	allDead := true
+	for _, d := range dead {
+		if !d {
+			allDead = false
+			break
+		}
+	}
+	if allDead {
+		out = append(out, Finding{
+			Class: DeadStatement, Severity: Error, Stmt: si, Branch: -1, Other: -1,
+			Message: fmt.Sprintf("statement ON %s has no reachable branch", dsl.AttrName(s.On, rel)),
+		})
+	}
+	return out
+}
+
+// checkDomain validates branch bi of statement s (index si in the program)
+// against rel's dictionary.
+func checkDomain(s *dsl.Statement, si, bi int, rel *dataset.Relation) []Finding {
+	var out []Finding
+	b := s.Branches[bi]
+	bad := func(attr int, v int32, what string) *Finding {
+		if rel != nil {
+			if attr < 0 || attr >= rel.NumAttrs() {
+				return &Finding{Severity: Error, Message: fmt.Sprintf("%s attribute index %d is outside the schema", what, attr)}
+			}
+			if v != dataset.Missing && (v < 0 || int(v) >= rel.Cardinality(attr)) {
+				return &Finding{Severity: Error, Message: fmt.Sprintf("%s literal code %d is not in the dictionary of %s (cardinality %d)",
+					what, v, rel.Attr(attr), rel.Cardinality(attr))}
+			}
+		}
+		if v == dataset.Missing {
+			return &Finding{Severity: Warning, Message: fmt.Sprintf("%s asserts missingness of %s, which a constraint cannot test",
+				what, dsl.AttrName(attr, rel))}
+		}
+		return nil
+	}
+	if f := bad(s.On, b.Value, "THEN"); f != nil {
+		f.Class, f.Stmt, f.Branch, f.Other = DomainViolation, si, bi, -1
+		out = append(out, *f)
+	}
+	for _, pr := range b.Cond {
+		if f := bad(pr.Attr, pr.Value, "IF"); f != nil {
+			f.Class, f.Stmt, f.Branch, f.Other = DomainViolation, si, bi, -1
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+// checkCycles finds directed cycles in the determinant graph: an edge g → on
+// for every statement "GIVEN ... g ... ON on". A cycle means rectification
+// output depends on statement order (a determines b while b determines a),
+// so the program is not a well-founded data-generating process.
+func checkCycles(p *dsl.Program, rel *dataset.Relation) []Finding {
+	type edge struct {
+		to   int // dependent attribute
+		stmt int // statement inducing the edge
+	}
+	adj := map[int][]edge{}
+	for si, s := range p.Stmts {
+		for _, g := range s.Given {
+			adj[g] = append(adj[g], edge{to: s.On, stmt: si})
+		}
+	}
+	nodes := make([]int, 0, len(adj))
+	for a := range adj {
+		nodes = append(nodes, a)
+	}
+	sort.Ints(nodes)
+
+	const (
+		unvisited = iota
+		inStack
+		done
+	)
+	state := map[int]int{}
+	var pathAttrs []int // attributes on the current DFS path
+	var pathStmts []int // pathStmts[i] is the statement of the edge into pathAttrs[i+1]
+	var out []Finding
+	seen := map[string]bool{} // canonical statement-set key -> reported
+
+	var dfs func(a int)
+	dfs = func(a int) {
+		state[a] = inStack
+		for _, e := range adj[a] {
+			switch state[e.to] {
+			case unvisited:
+				pathAttrs = append(pathAttrs, e.to)
+				pathStmts = append(pathStmts, e.stmt)
+				dfs(e.to)
+				pathAttrs = pathAttrs[:len(pathAttrs)-1]
+				pathStmts = pathStmts[:len(pathStmts)-1]
+			case inStack:
+				// The cycle is the path suffix starting at e.to, closed by e.
+				start := 0
+				for i, pa := range pathAttrs {
+					if pa == e.to {
+						start = i
+						break
+					}
+				}
+				attrs := append([]int(nil), pathAttrs[start:]...)
+				attrs = append(attrs, e.to)
+				stmts := append([]int(nil), pathStmts[start:]...)
+				stmts = append(stmts, e.stmt)
+				out = append(out, reportCycle(attrs, stmts, rel, seen)...)
+			}
+		}
+		state[a] = done
+	}
+	for _, a := range nodes {
+		if state[a] == unvisited {
+			pathAttrs = []int{a}
+			pathStmts = nil
+			dfs(a)
+		}
+	}
+	return out
+}
+
+// reportCycle emits one Cycle finding per distinct statement set, anchored
+// at the smallest statement index involved. attrs is the closed attribute
+// walk (first == last); stmts the statements inducing each edge.
+func reportCycle(attrs, stmts []int, rel *dataset.Relation, seen map[string]bool) []Finding {
+	uniq := map[int]bool{}
+	for _, s := range stmts {
+		uniq[s] = true
+	}
+	ids := make([]int, 0, len(uniq))
+	for s := range uniq {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	key := fmt.Sprint(ids)
+	if seen[key] {
+		return nil
+	}
+	seen[key] = true
+
+	var chain strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			chain.WriteString(" -> ")
+		}
+		chain.WriteString(dsl.AttrName(a, rel))
+	}
+	return []Finding{{
+		Class: Cycle, Severity: Warning, Stmt: ids[0], Branch: -1, Other: -1,
+		Message: fmt.Sprintf("determinant chain is cyclic (%s) across statements %v; rectification becomes order-sensitive",
+			chain.String(), ids),
+	}}
+}

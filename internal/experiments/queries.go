@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/guardrail-db/guardrail/internal/core"
@@ -114,7 +115,15 @@ func resultVectors(a, b *sqlexec.Result) (va, vb []float64) {
 			keys[k] = n
 		}
 	}
-	for k, width := range keys {
+	// Emit groups in sorted key order: map iteration order is randomized,
+	// and the vectors must be stable so downstream metrics are reproducible.
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		width := keys[k]
 		va = append(va, padded(ka[k], width)...)
 		vb = append(vb, padded(kb[k], width)...)
 	}

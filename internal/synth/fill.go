@@ -87,8 +87,17 @@ func FillStatement(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl
 		g.counts[onCol[r]]++
 	}
 
+	// Iterate groups in sorted key order: map order is randomized, and the
+	// branch list must be byte-stable across runs for reproducible synthesis.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
 	var branches []dsl.Branch
-	for _, g := range groups {
+	for _, k := range keys {
+		g := groups[k]
 		if g.size < opts.MinSupport {
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/auxdist"
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/sketch"
@@ -72,6 +73,10 @@ type Result struct {
 	FillTime  time.Duration // sketch filling + selection
 	// CacheHits/CacheMisses report statement-cache effectiveness.
 	CacheHits, CacheMisses int
+	// PrunedPrograms counts candidate programs the semantic verifier
+	// rejected before coverage scoring (contradictory, dead, or
+	// domain-violating fills).
+	PrunedPrograms int
 	// CITests is the number of independence tests run by PC.
 	CITests int
 }
@@ -137,6 +142,14 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 			sk = pruneNonLNT(sk, data, opts.Alpha)
 		}
 		prog := FillProgram(rel, sk, fill, cache)
+		// Static verification gate: a candidate whose fill is degenerate
+		// (contradictory branches, dead statements, out-of-domain literals)
+		// would silently weaken the runtime guardrail, so it is pruned
+		// before it can win coverage scoring.
+		if fs := verify.Program(prog, rel); verify.HasErrors(fs) {
+			res.PrunedPrograms++
+			continue
+		}
 		cov := dsl.Coverage(prog, rel)
 		if cov > bestCov || (cov == bestCov && len(prog.Stmts) > len(best.Stmts)) {
 			best, bestCov = prog, cov
