@@ -10,6 +10,7 @@
 package guardrail_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/guardrail-db/guardrail/internal/auxdist"
@@ -172,6 +173,105 @@ func BenchmarkGuardCheckRow(b *testing.B) {
 		if _, err := guard.CheckRow(row); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- worker-pool scaling benches (DESIGN.md §9) ---
+//
+// Each bench sweeps the pipeline's Workers option so the CI bench lane can
+// print serial-vs-parallel speedups from one run. Results are identical at
+// every worker count (see the determinism regression tests); only
+// wall-clock changes.
+
+var workerCounts = []int{1, 2, 4, 8}
+
+func BenchmarkAuxSamplingWorkers(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := auxdist.Sample(rel, auxdist.Options{Shifts: 8, Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPCLearnWorkers(b *testing.B) {
+	rel, err := bn.RandomSEM(bn.SEMSpec{Attrs: 10, Seed: 3}).Sample(3000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Shifts: 8, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pc.Learn(aux, pc.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFillWorkers times the Alg. 2 inner loop — LNT screening,
+// statement filling, verification, and coverage scoring across the MEC —
+// at each worker count, on a fixed pre-enumerated MEC.
+func BenchmarkFillWorkers(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	learned, err := pc.Learn(aux, pc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dags, err := graph.EnumerateMEC(learned.CPDAG, 256)
+	if err != nil && err != graph.ErrEnumLimit {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.SelectProgram(rel, dags, aux, synth.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSynthesizeWorkers is the headline scaling bench: the end-to-end
+// pipeline (aux sampling, PC, MEC enumeration, filling, selection) on an
+// experiment relation at each worker count.
+func BenchmarkSynthesizeWorkers(b *testing.B) {
+	spec, err := bn.SpecByID(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := spec.Generate(0.15, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Synthesize(rel, core.Options{Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

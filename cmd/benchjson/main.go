@@ -1,0 +1,268 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON record — the BENCH_<date>.json files the CI bench lane archives to
+// track the repo's performance trajectory — and can print a
+// serial-vs-parallel speedup table for the worker-sweep benches.
+//
+//	go test -bench=. -benchmem -count=3 -run='^$' . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_2026-08-05.json -summary
+//
+// With -summary, benchmarks named <Base>/workers=<N> are grouped and the
+// median ns/op of each worker count is compared against workers=1, emitted
+// as a GitHub-flavored markdown table for the job summary. Only the
+// standard library is used.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one benchmark line's measurements.
+type Sample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Benchmark aggregates the samples of one benchmark name across -count
+// repetitions, in input order.
+type Benchmark struct {
+	Name    string   `json:"name"`
+	Samples []Sample `json:"samples"`
+	// MedianNs is the median ns/op across samples, the number the
+	// speedup summary and trend tracking key on.
+	MedianNs float64 `json:"median_ns_per_op"`
+}
+
+// Report is the archived JSON document.
+type Report struct {
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file; - reads stdin")
+	out := flag.String("out", "", "output JSON path (default BENCH_<utc-date>.json)")
+	date := flag.String("date", "", "date stamp for the record (default today, UTC)")
+	summary := flag.Bool("summary", false, "print a serial-vs-parallel markdown summary to stdout")
+	flag.Parse()
+
+	if err := run(*in, *out, *date, *summary); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, date string, summary bool) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", in)
+	}
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	rep.Date = date
+	if out == "" {
+		out = "BENCH_" + date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), out)
+	if summary {
+		fmt.Print(Summary(rep))
+	}
+	return nil
+}
+
+// Parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName/sub-8   	     100	  11309297 ns/op	 5716236 B/op	   50010 allocs/op
+//
+// Header lines (goos:, goarch:, pkg:, cpu:) annotate the report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	index := map[string]int{} // name -> position in rep.Benchmarks
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := Sample{Iterations: iters}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		if s.NsPerOp == 0 {
+			continue
+		}
+		pos, ok := index[name]
+		if !ok {
+			pos = len(rep.Benchmarks)
+			index[name] = pos
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name})
+		}
+		rep.Benchmarks[pos].Samples = append(rep.Benchmarks[pos].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range rep.Benchmarks {
+		rep.Benchmarks[i].MedianNs = medianNs(rep.Benchmarks[i].Samples)
+	}
+	return rep, nil
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> the bench runner
+// appends: BenchmarkFoo/workers=4-8 -> BenchmarkFoo/workers=4.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func medianNs(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = s.NsPerOp
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// Summary renders the serial-vs-parallel comparison: every benchmark
+// family with /workers=N variants becomes a markdown table row per worker
+// count, with speedup relative to that family's workers=1 baseline.
+func Summary(rep *Report) string {
+	type variant struct {
+		workers int
+		ns      float64
+	}
+	families := map[string][]variant{}
+	var order []string
+	for _, b := range rep.Benchmarks {
+		base, w, ok := splitWorkers(b.Name)
+		if !ok {
+			continue
+		}
+		if _, seen := families[base]; !seen {
+			order = append(order, base)
+		}
+		families[base] = append(families[base], variant{workers: w, ns: b.MedianNs})
+	}
+	var sb strings.Builder
+	sb.WriteString("## Serial vs parallel (median ns/op)\n\n")
+	if len(order) == 0 {
+		sb.WriteString("No /workers= benchmark variants found.\n")
+		return sb.String()
+	}
+	sb.WriteString("| Benchmark | Workers | ns/op | Speedup vs serial |\n")
+	sb.WriteString("|---|---:|---:|---:|\n")
+	for _, base := range order {
+		vs := families[base]
+		sort.Slice(vs, func(i, j int) bool { return vs[i].workers < vs[j].workers })
+		var serial float64
+		for _, v := range vs {
+			if v.workers == 1 {
+				serial = v.ns
+			}
+		}
+		for _, v := range vs {
+			speedup := "—"
+			if serial > 0 && v.ns > 0 {
+				speedup = fmt.Sprintf("%.2fx", serial/v.ns)
+			}
+			fmt.Fprintf(&sb, "| %s | %d | %.0f | %s |\n", base, v.workers, v.ns, speedup)
+		}
+	}
+	return sb.String()
+}
+
+// splitWorkers recognizes names of the form <Base>/workers=<N>.
+func splitWorkers(name string) (base string, workers int, ok bool) {
+	i := strings.LastIndex(name, "/workers=")
+	if i < 0 {
+		return "", 0, false
+	}
+	w, err := strconv.Atoi(name[i+len("/workers="):])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], w, true
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// canned is a trimmed transcript of `go test -bench=. -benchmem -count=2`
+// including headers, noise lines, and worker-sweep sub-benchmarks.
+const canned = `goos: linux
+goarch: amd64
+pkg: github.com/guardrail-db/guardrail
+cpu: AMD EPYC 7713 64-Core Processor
+BenchmarkSynthesizeWorkers/workers=1-8         	      64	  18000000 ns/op	 5716236 B/op	   50010 allocs/op
+BenchmarkSynthesizeWorkers/workers=1-8         	      64	  18200000 ns/op	 5716300 B/op	   50012 allocs/op
+BenchmarkSynthesizeWorkers/workers=4-8         	     256	   6000000 ns/op	 5800000 B/op	   50500 allocs/op
+BenchmarkSynthesizeWorkers/workers=4-8         	     250	   6400000 ns/op	 5800100 B/op	   50501 allocs/op
+BenchmarkG2Test-8                              	  100000	     11234 ns/op
+PASS
+ok  	github.com/guardrail-db/guardrail	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if rep.CPU != "AMD EPYC 7713 64-Core Processor" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if rep.Pkg != "github.com/guardrail-db/guardrail" {
+		t.Errorf("pkg = %q", rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	w1 := rep.Benchmarks[0]
+	if w1.Name != "BenchmarkSynthesizeWorkers/workers=1" {
+		t.Errorf("first benchmark name = %q (GOMAXPROCS suffix not trimmed?)", w1.Name)
+	}
+	if len(w1.Samples) != 2 {
+		t.Fatalf("workers=1 has %d samples, want 2", len(w1.Samples))
+	}
+	if w1.Samples[0].NsPerOp != 18000000 || w1.Samples[0].Iterations != 64 {
+		t.Errorf("sample 0 = %+v", w1.Samples[0])
+	}
+	if w1.Samples[0].BytesPerOp != 5716236 || w1.Samples[0].AllocsPerOp != 50010 {
+		t.Errorf("memory stats = %+v", w1.Samples[0])
+	}
+	if w1.MedianNs != 18100000 {
+		t.Errorf("workers=1 median = %v, want 18100000", w1.MedianNs)
+	}
+
+	g2 := rep.Benchmarks[2]
+	if g2.Name != "BenchmarkG2Test" {
+		t.Errorf("third benchmark name = %q", g2.Name)
+	}
+	if g2.MedianNs != 11234 || g2.Samples[0].BytesPerOp != 0 {
+		t.Errorf("no-benchmem line parsed as %+v", g2)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep, err := Parse(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Summary(rep)
+	// workers=1 median 18.1ms, workers=4 median 6.2ms -> 2.92x.
+	for _, want := range []string{
+		"| BenchmarkSynthesizeWorkers | 1 | 18100000 | 1.00x |",
+		"| BenchmarkSynthesizeWorkers | 4 | 6200000 | 2.92x |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "BenchmarkG2Test") {
+		t.Errorf("summary should only include /workers= families:\n%s", got)
+	}
+}
+
+func TestSummaryNoWorkerVariants(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkFoo", MedianNs: 1}}}
+	if got := Summary(rep); !strings.Contains(got, "No /workers= benchmark variants") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":           "BenchmarkFoo",
+		"BenchmarkFoo/workers=4-8": "BenchmarkFoo/workers=4",
+		"BenchmarkFoo":             "BenchmarkFoo",
+		"BenchmarkFoo/sub-case":    "BenchmarkFoo/sub-case",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -24,13 +25,14 @@ func main() {
 	eps := flag.Float64("eps", 0, "Guardrail epsilon (0 = default)")
 	datasets := flag.String("datasets", "", "comma-separated Table 2 ids (default: all 12)")
 	fig7Dataset := flag.Int("fig7-dataset", 6, "dataset id for the fig7 epsilon sweep")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table3|table4|table5|table6|table7|table8|fig6|fig7|smt|gnt|all>")
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers}
 	if *datasets != "" {
 		for _, part := range strings.Split(*datasets, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))

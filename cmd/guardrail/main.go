@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/guardrail-db/guardrail/internal/bn"
 	"github.com/guardrail-db/guardrail/internal/core"
@@ -103,6 +104,7 @@ func cmdSynth(args []string) error {
 	seed := fs.Int64("seed", 1, "sampling seed")
 	identity := fs.Bool("identity-sampler", false, "disable the auxiliary-distribution sampler")
 	asJSON := fs.Bool("json", false, "emit the program as JSON instead of the surface syntax")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +115,7 @@ func cmdSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity})
+	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity, Workers: *workers})
 	if err != nil {
 		return err
 	}

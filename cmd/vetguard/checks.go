@@ -13,6 +13,7 @@ type checker struct {
 	fset     *token.FileSet
 	info     *types.Info
 	file     *ast.File
+	pkgPath  string
 	findings []Finding
 }
 
@@ -34,7 +35,7 @@ func (c *checker) run() {
 	}
 }
 
-// checkFunc applies all three checks within one function body.
+// checkFunc applies all four checks within one function body.
 func (c *checker) checkFunc(body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -46,9 +47,26 @@ func (c *checker) checkFunc(body *ast.BlockStmt) {
 			}
 		case *ast.CallExpr:
 			c.checkGlobalRand(n)
+		case *ast.GoStmt:
+			c.checkNakedGo(n)
 		}
 		return true
 	})
+}
+
+// --- check: nakedgo ---
+
+// checkNakedGo flags `go` statements outside internal/par. All pipeline
+// concurrency must route through the worker pool: the pool is what carries
+// the ordered-collection, cancellation, and panic-propagation guarantees
+// that keep parallel synthesis deterministic and debuggable. A goroutine
+// launched anywhere else sits outside those guarantees.
+func (c *checker) checkNakedGo(gs *ast.GoStmt) {
+	if c.pkgPath == "internal/par" || strings.HasSuffix(c.pkgPath, "/internal/par") {
+		return
+	}
+	c.report(gs.Pos(), "nakedgo",
+		"naked go statement outside internal/par; submit the work to a par.Pool (or par.Map) so it inherits ordering, cancellation, and panic propagation")
 }
 
 // --- check: globalrand ---

@@ -10,6 +10,10 @@
 //	globalrand: use of the global math/rand source in non-test code —
 //	            experiments must draw from seeded *rand.Rand instances
 //	ignorederr: a call whose error result is silently discarded
+//	nakedgo:    a `go` statement outside internal/par — pipeline
+//	            concurrency must route through the worker pool so it
+//	            inherits ordered collection, cancellation, and panic
+//	            propagation
 //
 // Usage:
 //
@@ -187,7 +191,7 @@ func lintPackage(p listedPkg, imp types.Importer) ([]Finding, error) {
 	var findings []Finding
 	for _, file := range files {
 		suppressed := suppressedLines(fset, file)
-		c := &checker{fset: fset, info: info, file: file}
+		c := &checker{fset: fset, info: info, file: file, pkgPath: p.ImportPath}
 		c.run()
 		for _, f := range c.findings {
 			if suppressed[f.Pos.Line] {

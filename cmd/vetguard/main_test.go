@@ -22,14 +22,14 @@ func TestBuggyFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := countByCheck(findings)
-	want := map[string]int{"maprange": 3, "globalrand": 2, "ignorederr": 1}
+	want := map[string]int{"maprange": 3, "globalrand": 2, "ignorederr": 1, "nakedgo": 2}
 	for check, n := range want {
 		if got[check] != n {
 			t.Errorf("%s: got %d findings, want %d\nall: %v", check, got[check], n, findings)
 		}
 	}
-	if total := len(findings); total != 6 {
-		t.Errorf("total findings = %d, want 6 (is the //vetguard:ignore annotation honored?)\n%v", total, findings)
+	if total := len(findings); total != 8 {
+		t.Errorf("total findings = %d, want 8 (is the //vetguard:ignore annotation honored?)\n%v", total, findings)
 	}
 	for _, f := range findings {
 		if !strings.Contains(f.Pos.Filename, "buggy") {
@@ -50,6 +50,18 @@ func TestCleanFixture(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("clean fixture produced findings: %v", findings)
+	}
+}
+
+// TestParFixtureExempt: a package whose import path ends in internal/par
+// may use go statements — that is where the worker pool lives.
+func TestParFixtureExempt(t *testing.T) {
+	findings, err := analyze([]string{"./testdata/src/internal/par"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("internal/par fixture should be exempt from nakedgo: %v", findings)
 	}
 }
 

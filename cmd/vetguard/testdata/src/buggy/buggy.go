@@ -52,3 +52,22 @@ func IgnoredError(path string) {
 func SuppressedError(path string) {
 	os.Remove(path) //vetguard:ignore best-effort cleanup
 }
+
+// NakedGoroutine launches work outside the internal/par worker pool.
+func NakedGoroutine(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// NakedGoCall is the call-expression form of the same bug.
+func NakedGoCall(done chan struct{}) {
+	go closeLater(done)
+}
+
+func closeLater(done chan struct{}) { close(done) }
+
+// SuppressedGoroutine is exempted by annotation.
+func SuppressedGoroutine(done chan struct{}) {
+	go closeLater(done) //vetguard:ignore test harness plumbing
+}

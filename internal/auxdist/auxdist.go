@@ -11,10 +11,12 @@
 package auxdist
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/par"
 )
 
 // Binary is a dense binary dataset implementing stats.Data.
@@ -48,6 +50,12 @@ type Options struct {
 	MaxSamples int
 	// Seed drives shift selection.
 	Seed int64
+	// Workers bounds the concurrency of per-shift sample filling; <= 0
+	// uses every core, 1 forces the serial path. The shifts and their
+	// start offsets are drawn serially before the fan-out and every shift
+	// writes a disjoint pre-sized slice segment, so the output is
+	// byte-identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -82,25 +90,32 @@ func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 	m := rel.NumAttrs()
 	out := &Binary{names: append([]string(nil), rel.Attrs()...), cols: make([][]int32, m), n: total}
 	for c := 0; c < m; c++ {
-		out.cols[c] = make([]int32, 0, total)
+		out.cols[c] = make([]int32, total)
 	}
-	for _, s := range shifts {
-		start := 0
+	// Start offsets consume the RNG in shift order before the fan-out, so
+	// the sample is independent of the worker schedule.
+	starts := make([]int, len(shifts))
+	for si := range shifts {
 		if perShift < n {
-			start = rng.Intn(n)
+			starts[si] = rng.Intn(n)
 		}
-		for k := 0; k < perShift; k++ {
-			i := (start + k) % n
-			j := (i + s) % n
-			for c := 0; c < m; c++ {
-				col := rel.Column(c)
-				if col[i] == col[j] {
-					out.cols[c] = append(out.cols[c], 1)
-				} else {
-					out.cols[c] = append(out.cols[c], 0)
+	}
+	if _, err := par.Map(context.Background(), opts.Workers, len(shifts),
+		func(_ context.Context, si int) (struct{}, error) {
+			s, base := shifts[si], si*perShift
+			for k := 0; k < perShift; k++ {
+				i := (starts[si] + k) % n
+				j := (i + s) % n
+				for c := 0; c < m; c++ {
+					col := rel.Column(c)
+					if col[i] == col[j] {
+						out.cols[c][base+k] = 1
+					}
 				}
 			}
-		}
+			return struct{}{}, nil
+		}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

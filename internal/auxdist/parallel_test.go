@@ -1,0 +1,51 @@
+package auxdist
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+)
+
+// TestSampleParallelMatchesSerial: the auxiliary sample must be
+// byte-identical at every worker count — same shifts, same start offsets,
+// same column layout — because the RNG draws happen serially before the
+// per-shift fan-out and each shift writes a disjoint segment.
+func TestSampleParallelMatchesSerial(t *testing.T) {
+	rel, err := bn.PostalChain(12).Sample(2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Shifts: 8, Seed: 21},
+		// MaxSamples below Shifts*NumRows forces perShift < n, covering the
+		// random start-offset path.
+		{Shifts: 8, Seed: 21, MaxSamples: 4000},
+	} {
+		serialOpts := opts
+		serialOpts.Workers = 1
+		serial, err := Sample(rel, serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			parOpts := opts
+			parOpts.Workers = workers
+			got, err := Sample(rel, parOpts)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if got.N() != serial.N() || got.NumVars() != serial.NumVars() {
+				t.Fatalf("workers=%d: shape %dx%d, want %dx%d", workers, got.N(), got.NumVars(), serial.N(), serial.NumVars())
+			}
+			for c := 0; c < serial.NumVars(); c++ {
+				sc, gc := serial.Codes(c), got.Codes(c)
+				for r := range sc {
+					if sc[r] != gc[r] {
+						t.Fatalf("workers=%d: column %d row %d = %d, serial %d (maxSamples=%d)",
+							workers, c, r, gc[r], sc[r], opts.MaxSamples)
+					}
+				}
+			}
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Config struct {
 	MaxCondOverride int
 	// AuxShiftsOverride overrides the auxiliary sampler's shift count.
 	AuxShiftsOverride int
+	// Workers bounds each synthesis stage's worker pool; <= 0 uses every
+	// core, 1 forces the serial pipeline. Results are identical at any
+	// value — only wall-clock changes.
+	Workers int
 }
 
 func (c Config) alphaOrDefault() float64 {
@@ -151,6 +155,7 @@ func synthOptions(cfg Config, seed int64) core.Options {
 		AuxShifts:     cfg.auxShiftsOrDefault(),
 		AuxMaxSamples: 120000,
 		Seed:          seed,
+		Workers:       cfg.Workers,
 	}
 }
 

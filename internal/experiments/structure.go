@@ -40,11 +40,11 @@ func Table7(cfg Config) (*Table7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		aux, err := auxdist.Sample(p.train, auxdist.Options{MaxSamples: 30000, Seed: cfg.Seed + int64(spec.ID)})
+		aux, err := auxdist.Sample(p.train, auxdist.Options{MaxSamples: 30000, Seed: cfg.Seed + int64(spec.ID), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		learned, err := pc.Learn(aux, pc.Options{Alpha: 0.01, MaxCond: 2})
+		learned, err := pc.Learn(aux, pc.Options{Alpha: 0.01, MaxCond: 2, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards keeps lock contention low without bloating the zero value;
+// shard choice only affects performance, never results.
+const cacheShards = 32
+
+// Cache is a sharded, string-keyed memo table safe for concurrent use.
+// The compute function for a key runs exactly once across all callers —
+// concurrent requesters of an in-flight key block until the first
+// computation finishes (singleflight) — so expensive work is never
+// duplicated and the cached value is independent of the worker schedule.
+// The zero value is ready to use.
+type Cache[V any] struct {
+	shards [cacheShards]cacheShard[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// Do returns the value cached under key, computing it with fn on the first
+// request. Exactly one caller per key runs fn; the miss is charged to that
+// caller and every other access counts as a hit, matching the serial
+// map-semantics of a single-threaded memo table.
+func (c *Cache[V]) Do(key string, fn func() V) V {
+	sh := &c.shards[fnv1a(key)%cacheShards]
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		if sh.entries == nil {
+			sh.entries = map[string]*cacheEntry[V]{}
+		}
+		e = &cacheEntry[V]{}
+		sh.entries[key] = e
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val = fn() })
+	return e.val
+}
+
+// Stats reports cache effectiveness so far. The counts are deterministic
+// at any worker count: one miss per distinct key, hits for the rest.
+func (c *Cache[V]) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to avoid the per-call
+// allocation of hash/fnv's Hash32 on the cache hot path.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,159 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdered is the ordered-collection property test: whatever the
+// completion schedule, results come back in submission order. Tasks sleep
+// pseudo-random amounts so completion order is scrambled relative to
+// submission order.
+func TestMapOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 64
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			time.Sleep(delays[i])
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSerialInline: one worker runs tasks inline on the submitting
+// goroutine in submission order — the serial fast path the determinism
+// guarantee leans on.
+func TestMapSerialInline(t *testing.T) {
+	var order []int
+	out, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		order = append(order, i) // safe only because execution is inline
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i || order[i] != i {
+			t.Fatalf("serial execution out of order: out=%v order=%v", out, order)
+		}
+	}
+}
+
+// TestMapError: a failing task cancels the batch; Map reports the task's
+// own error, not the context.Canceled its cancellation induces, and skips
+// most of the remaining work.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int32
+	for _, workers := range []int{1, 4} {
+		executed.Store(0)
+		_, err := Map(context.Background(), workers, 100, func(ctx context.Context, i int) (int, error) {
+			executed.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			// Give the cancellation a moment to win the race for the queue.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if got := executed.Load(); got == 100 {
+			t.Errorf("workers=%d: cancellation did not skip any of the remaining tasks", workers)
+		}
+	}
+}
+
+// TestMapCancellation: cancelling the parent context mid-batch unblocks
+// Submit, skips queued tasks, and surfaces context.Canceled.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 2, 200, func(ctx context.Context, i int) (int, error) {
+		executed.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // block until the batch is cancelled
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got == 200 {
+		t.Error("cancellation did not skip any queued tasks")
+	}
+}
+
+// TestPanicPropagation: a panicking worker crashes the caller at Wait with
+// the original value and the worker's stack.
+func TestPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic, got none", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if fmt.Sprint(pe.Value) != "kaboom" {
+					t.Errorf("workers=%d: panic value = %v, want kaboom", workers, pe.Value)
+				}
+				if !strings.Contains(pe.Error(), "kaboom") || len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: PanicError missing value or stack: %v", workers, pe)
+				}
+			}()
+			_, _ = Map(context.Background(), workers, 8, func(_ context.Context, i int) (int, error) {
+				if i == 2 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+// TestResolve pins the Workers-option normalization the whole pipeline
+// relies on.
+func TestResolve(t *testing.T) {
+	if Resolve(0) < 1 || Resolve(-3) < 1 {
+		t.Error("Resolve of non-positive workers must be at least 1")
+	}
+	if Resolve(7) != 7 {
+		t.Error("Resolve must pass positive values through")
+	}
+}

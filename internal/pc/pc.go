@@ -7,10 +7,12 @@
 package pc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
 
@@ -23,6 +25,12 @@ type Options struct {
 	// MaxCard skips variables with more categories than this when forming
 	// conditioning sets, a standard guard against sparse strata (default 64).
 	MaxCard int
+	// Workers bounds the concurrency of each level's CI sweep; <= 0 uses
+	// every core, 1 forces the serial path. Any value yields the same
+	// Result: edge decisions within a level are independent (the stable-PC
+	// order-independence property) and are merged at the level barrier in
+	// a fixed edge order.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -73,17 +81,33 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 		for i := 0; i < n; i++ {
 			adj[i] = skel.UndirectedNeighbors(i)
 		}
-		removedAny := false
+		type edge struct{ i, j int }
+		var edges []edge
 		for i := 0; i < n; i++ {
 			for _, j := range adj[i] {
-				if j < i || !skel.HasUndirected(i, j) {
-					continue
+				if j > i {
+					edges = append(edges, edge{i, j})
 				}
-				// Candidate conditioning sets: subsets of adj(i)\{j} and
-				// adj(j)\{i} of the current level size.
-				if removeEdge(d, skel, sep, i, j, adj, level, opts, &tests) {
-					removedAny = true
-				}
+			}
+		}
+		// Decide every edge of the level against the frozen adjacency
+		// snapshot concurrently — decisions are independent because no
+		// deletion is applied until the level barrier below.
+		decisions, err := par.Map(context.Background(), opts.Workers, len(edges),
+			func(_ context.Context, k int) (edgeDecision, error) {
+				return decideEdge(d, edges[k].i, edges[k].j, adj, level, opts), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		// Level barrier: merge deletions and sepsets in edge order.
+		removedAny := false
+		for k, dec := range decisions {
+			tests += dec.tests
+			if dec.remove {
+				skel.RemoveEdge(edges[k].i, edges[k].j)
+				sep[graph.PairKey(edges[k].i, edges[k].j)] = dec.sep
+				removedAny = true
 			}
 		}
 		if !removedAny && level > 0 {
@@ -96,38 +120,47 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 	return &Result{CPDAG: cp, Skeleton: skel, SepSets: sep, Tests: tests}, nil
 }
 
-// removeEdge tests i ⟂ j | S for all size-level subsets S of each
-// endpoint's neighborhood; on the first independence it deletes the edge
-// and records the sepset.
-func removeEdge(d stats.Data, skel *graph.PDAG, sep map[int64][]int, i, j int, adj [][]int, level int, opts Options, tests *int) bool {
+// edgeDecision is the outcome of one edge's CI sweep at one level: whether
+// the edge goes, the separating set that removed it, and how many tests it
+// took to decide.
+type edgeDecision struct {
+	remove bool
+	sep    []int
+	tests  int
+}
+
+// decideEdge tests i ⟂ j | S for all size-level subsets S of each
+// endpoint's snapshot neighborhood; the first independence wins. It reads
+// the shared data and adjacency snapshot but mutates nothing, so the
+// per-level sweep can fan out across workers.
+func decideEdge(d stats.Data, i, j int, adj [][]int, level int, opts Options) edgeDecision {
+	dec := edgeDecision{}
 	for _, base := range [2][2]int{{i, j}, {j, i}} {
 		cands := filterCard(d, exclude(adj[base[0]], base[1]), opts.MaxCard)
 		if len(cands) < level {
 			continue
 		}
-		found := false
 		forEachSubset(cands, level, func(s []int) bool {
-			*tests++
+			dec.tests++
 			res, err := stats.GTest(d, i, j, s)
 			if err != nil {
 				return true // skip malformed set, keep searching
 			}
 			if res.Independent(opts.Alpha) {
-				skel.RemoveEdge(i, j)
-				sep[graph.PairKey(i, j)] = append([]int(nil), s...)
-				found = true
+				dec.remove = true
+				dec.sep = append([]int(nil), s...)
 				return false
 			}
 			return true
 		})
-		if found {
-			return true
+		if dec.remove {
+			return dec
 		}
 		if base[0] == j && base[1] == i && sameSet(adj[i], adj[j], i, j) {
 			break // symmetric neighborhoods: second pass is redundant
 		}
 	}
-	return false
+	return dec
 }
 
 func exclude(xs []int, v int) []int {

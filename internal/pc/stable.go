@@ -1,9 +1,12 @@
 package pc
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
 
@@ -30,11 +33,13 @@ func (o *StableOptions) defaults() {
 }
 
 // resample is a bootstrap view of a stats.Data: rows drawn with
-// replacement.
+// replacement. Columns materialize lazily under a sync.Once each, so the
+// parallel CI sweep inside Learn can share one resample across workers.
 type resample struct {
 	base stats.Data
 	rows []int
 	cols [][]int32
+	once []sync.Once
 }
 
 func newResample(base stats.Data, rng *rand.Rand) *resample {
@@ -43,7 +48,8 @@ func newResample(base stats.Data, rng *rand.Rand) *resample {
 	for i := range rows {
 		rows[i] = rng.Intn(n)
 	}
-	return &resample{base: base, rows: rows, cols: make([][]int32, base.NumVars())}
+	m := base.NumVars()
+	return &resample{base: base, rows: rows, cols: make([][]int32, m), once: make([]sync.Once, m)}
 }
 
 func (r *resample) NumVars() int   { return r.base.NumVars() }
@@ -51,14 +57,14 @@ func (r *resample) N() int         { return len(r.rows) }
 func (r *resample) Card(i int) int { return r.base.Card(i) }
 
 func (r *resample) Codes(i int) []int32 {
-	if r.cols[i] == nil {
+	r.once[i].Do(func() {
 		src := r.base.Codes(i)
 		col := make([]int32, len(r.rows))
 		for j, row := range r.rows {
 			col[j] = src[row]
 		}
 		r.cols[i] = col
-	}
+	})
 	return r.cols[i]
 }
 
@@ -67,19 +73,35 @@ func (r *resample) Codes(i int) []int32 {
 // aggregated skeleton using sepsets from a final full-data pass. Bootstrap
 // aggregation trades a little recall for considerably fewer spurious edges
 // on noisy data — a standard stabilization of constraint-based learners.
+//
+// The rounds are independent given their resamples, so they run on the
+// worker pool; the resamples themselves are drawn serially up front to
+// keep the RNG consumption order — and therefore the result — identical
+// at every worker count.
 func LearnStable(d stats.Data, opts StableOptions) (*Result, error) {
 	opts.defaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n := d.NumVars()
+	samples := make([]*resample, opts.Rounds)
+	for round := range samples {
+		samples[round] = newResample(d, rng)
+	}
+	// Each round is one worker-pool task; the per-level sweep inside these
+	// Learn calls stays serial so the pool is not oversubscribed.
+	roundOpts := opts.Options
+	roundOpts.Workers = 1
+	results, err := par.Map(context.Background(), opts.Workers, opts.Rounds,
+		func(_ context.Context, round int) (*Result, error) {
+			return Learn(samples[round], roundOpts)
+		})
+	if err != nil {
+		return nil, err
+	}
 	votes := make([][]int, n)
 	for i := range votes {
 		votes[i] = make([]int, n)
 	}
-	for round := 0; round < opts.Rounds; round++ {
-		res, err := Learn(newResample(d, rng), opts.Options)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if res.Skeleton.Adjacent(i, j) {

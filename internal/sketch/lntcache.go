@@ -1,0 +1,40 @@
+package sketch
+
+import (
+	"github.com/guardrail-db/guardrail/internal/par"
+	"github.com/guardrail-db/guardrail/internal/stats"
+)
+
+// LNTCache memoizes LNT outcomes across the DAGs of a Markov equivalence
+// class. The statements extracted from different MEC members overlap
+// heavily — a (GIVEN set, ON) pair recurs in every DAG that orients the
+// same parents — and LNT's G² test depends only on that pair (sorting the
+// GIVEN set permutes the composite's category labels without changing the
+// contingency table), so one screen per distinct Stmt.Key suffices.
+//
+// A cache instance is bound to one (data, alpha) configuration; callers
+// must not reuse it across datasets or significance levels. It is safe
+// for concurrent use and each key is screened exactly once even under
+// concurrent requests (sharded singleflight, see par.Cache). The zero
+// value is ready to use.
+type LNTCache struct {
+	cache par.Cache[lntOutcome]
+}
+
+type lntOutcome struct {
+	ok  bool
+	err error
+}
+
+// LNT reports the cached local non-triviality of s over d, computing it on
+// the first request for s's key.
+func (c *LNTCache) LNT(s Stmt, d stats.Data, alpha float64) (bool, error) {
+	out := c.cache.Do(s.Key(), func() lntOutcome {
+		ok, err := LNT(s, d, alpha)
+		return lntOutcome{ok: ok, err: err}
+	})
+	return out.ok, out.err
+}
+
+// Stats reports cache effectiveness: one miss per distinct statement key.
+func (c *LNTCache) Stats() (hits, misses int) { return c.cache.Stats() }

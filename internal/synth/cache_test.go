@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/sketch"
+)
+
+// formatStmt renders one statement for comparison.
+func formatStmt(s dsl.Statement, rel *dataset.Relation) string {
+	var b strings.Builder
+	dsl.FormatStatement(&b, s, rel)
+	return b.String()
+}
+
+// TestStatementCacheConcurrent is the -race stress test of the sharded
+// statement cache: many goroutines fill an overlapping set of statement
+// sketches through one cache. Every result must match a direct
+// FillStatement call, each distinct key must be computed exactly once
+// (misses == distinct keys, singleflight), and the hit count must equal
+// the remaining accesses — the same ledger a serial memo table keeps.
+func TestStatementCacheConcurrent(t *testing.T) {
+	rel, err := bn.PostalChain(8).Sample(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sketches []sketch.Stmt
+	for on := 1; on < rel.NumAttrs(); on++ {
+		sketches = append(sketches, sketch.Stmt{Given: []int{on - 1}, On: on})
+		if on >= 2 {
+			sketches = append(sketches, sketch.Stmt{Given: []int{on - 2, on - 1}, On: on})
+		}
+	}
+	opts := FillOptions{Epsilon: 0.02, MinSupport: 2}
+	want := make([]dsl.Statement, len(sketches))
+	wantOK := make([]bool, len(sketches))
+	for i, sk := range sketches {
+		want[i], wantOK[i] = FillStatement(rel, sk, opts)
+	}
+
+	cache := &StatementCache{}
+	const goroutines = 16
+	const rounds = 50
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Offset the walk per goroutine so different keys collide
+				// in-flight across goroutines.
+				for i := range sketches {
+					k := (i + g) % len(sketches)
+					stmt, ok := cache.Fill(rel, sketches[k], opts)
+					if ok != wantOK[k] {
+						errs <- fmt.Errorf("sketch %d: ok = %v, want %v", k, ok, wantOK[k])
+						return
+					}
+					if ok && formatStmt(stmt, rel) != formatStmt(want[k], rel) {
+						errs <- fmt.Errorf("sketch %d: concurrent fill differs from serial fill", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	hits, misses := cache.Stats()
+	total := goroutines * rounds * len(sketches)
+	if misses != len(sketches) {
+		t.Errorf("misses = %d, want one per distinct key (%d): duplicate fills slipped through the singleflight", misses, len(sketches))
+	}
+	if hits != total-len(sketches) {
+		t.Errorf("hits = %d, want %d", hits, total-len(sketches))
+	}
+}

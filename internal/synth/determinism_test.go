@@ -44,6 +44,91 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 }
 
+// TestSynthesizeDeterministicAcrossWorkers is the parallel-pipeline
+// regression gate: the serialized synthesized program must be identical at
+// every worker count — workers=1 (the serial pipeline), 4, and 8 — along
+// with coverage, pruning, and statement-cache counters. Any scheduling
+// leak into the output (unordered merges, cache races, RNG draws inside a
+// fan-out) shows up here as a program diff.
+func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
+	spec, err := bn.SpecByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		prog         string
+		cov          float64
+		pruned       int
+		hits, misses int
+	}
+	run := func(workers int) outcome {
+		rel, err := spec.Generate(0.05, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Synthesize(rel, synth.Options{Epsilon: 0.02, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			prog:   dsl.Format(res.Program, rel),
+			cov:    res.Coverage,
+			pruned: res.PrunedPrograms,
+			hits:   res.CacheHits,
+			misses: res.CacheMisses,
+		}
+	}
+	serial := run(1)
+	if serial.prog == "" {
+		t.Fatal("serial synthesis produced an empty program; the cross-worker diff is vacuous")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if got.prog != serial.prog {
+			t.Errorf("workers=%d synthesized a different program:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial.prog, workers, got.prog)
+		}
+		if got.cov != serial.cov {
+			t.Errorf("workers=%d coverage %v != serial %v", workers, got.cov, serial.cov)
+		}
+		if got.pruned != serial.pruned {
+			t.Errorf("workers=%d pruned %d != serial %d", workers, got.pruned, serial.pruned)
+		}
+		if got.hits != serial.hits || got.misses != serial.misses {
+			t.Errorf("workers=%d cache stats %d/%d != serial %d/%d",
+				workers, got.hits, got.misses, serial.hits, serial.misses)
+		}
+	}
+}
+
+// TestSynthesizeDeterministicAcrossWorkersAux repeats the cross-worker
+// diff with the auxiliary-distribution sampler, covering the parallel
+// shift-filling path and its hoisted RNG draws.
+func TestSynthesizeDeterministicAcrossWorkersAux(t *testing.T) {
+	spec, err := bn.SpecByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		rel, err := spec.Generate(0.05, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Synthesize(rel, synth.Options{Epsilon: 0.02, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsl.Format(res.Program, rel)
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d aux-sampler program differs from serial:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
 // TestSynthesizeDeterministicAuxSampler repeats the check with the
 // auxiliary-distribution sampler enabled, which exercises the seeded RNG
 // path as well.

@@ -11,6 +11,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/sketch"
 )
 
@@ -142,12 +143,13 @@ func FillStatement(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl
 
 // StatementCache memoizes FillStatement results across the DAGs of a MEC:
 // two DAGs sharing a (GIVEN set, ON) pair concretize it identically, so the
-// cache eliminates the redundant concretizations noted in §7. The zero
+// cache eliminates the redundant concretizations noted in §7. It is safe
+// for concurrent use — the parallel MEC fill shares one cache across
+// workers, and an identical hole requested by two DAGs at once is still
+// filled exactly once (sharded singleflight, see par.Cache). The zero
 // value is ready to use.
 type StatementCache struct {
-	entries map[string]cachedStmt
-	hits    int
-	misses  int
+	cache par.Cache[cachedStmt]
 }
 
 type cachedStmt struct {
@@ -157,22 +159,16 @@ type cachedStmt struct {
 
 // Fill returns the cached concretization of sk, computing it on a miss.
 func (c *StatementCache) Fill(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl.Statement, bool) {
-	if c.entries == nil {
-		c.entries = map[string]cachedStmt{}
-	}
-	key := sk.Key()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		return e.stmt, e.ok
-	}
-	c.misses++
-	stmt, ok := FillStatement(rel, sk, opts)
-	c.entries[key] = cachedStmt{stmt: stmt, ok: ok}
-	return stmt, ok
+	e := c.cache.Do(sk.Key(), func() cachedStmt {
+		stmt, ok := FillStatement(rel, sk, opts)
+		return cachedStmt{stmt: stmt, ok: ok}
+	})
+	return e.stmt, e.ok
 }
 
-// Stats reports cache effectiveness.
-func (c *StatementCache) Stats() (hits, misses int) { return c.hits, c.misses }
+// Stats reports cache effectiveness. The counts are schedule-independent:
+// one miss per distinct statement key, hits for every other access.
+func (c *StatementCache) Stats() (hits, misses int) { return c.cache.Stats() }
 
 // FillProgram concretizes every statement of a program sketch (Alg. 1,
 // outer loop), dropping statements that concretize to ⊥. cache may be nil.

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dsl"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/sketch"
 	"github.com/guardrail-db/guardrail/internal/stats"
@@ -39,6 +41,12 @@ type Options struct {
 	SkipGNT bool
 	// Seed drives sampling.
 	Seed int64
+	// Workers bounds the worker pool each pipeline stage fans out on: the
+	// PC conditional-independence sweeps, the per-DAG sketch filling, and
+	// the auxiliary-distribution sampling. <= 0 uses every core
+	// (runtime.GOMAXPROCS); 1 forces the fully serial pipeline. The
+	// synthesized program is byte-identical at every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -54,6 +62,7 @@ func (o *Options) defaults() {
 	if o.MaxDAGs == 0 {
 		o.MaxDAGs = 256
 	}
+	o.Workers = par.Resolve(o.Workers)
 }
 
 // Result is the synthesis outcome plus the bookkeeping the evaluation
@@ -105,13 +114,14 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 			Shifts:     opts.AuxShifts,
 			MaxSamples: opts.AuxMaxSamples,
 			Seed:       opts.Seed,
+			Workers:    opts.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("synth: auxiliary sampling: %w", err)
 		}
 		data = aux
 	}
-	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond})
+	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond, Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("synth: structure learning: %w", err)
 	}
@@ -132,47 +142,97 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 
 	// Stage 3: fill sketches and pick the maximum-coverage program.
 	t2 := time.Now()
+	sel, err := SelectProgram(rel, dags, data, opts)
+	if err != nil {
+		return nil, fmt.Errorf("synth: program selection: %w", err)
+	}
+	res.Program = sel.Program
+	res.Coverage = sel.Coverage
+	res.PrunedPrograms = sel.PrunedPrograms
+	res.CacheHits, res.CacheMisses = sel.CacheHits, sel.CacheMisses
+	res.FillTime = time.Since(t2)
+	return res, nil
+}
+
+// Selection is the outcome of the Alg. 2 inner loop over one MEC.
+type Selection struct {
+	Program  *dsl.Program
+	Coverage float64
+	// PrunedPrograms counts candidates the semantic verifier rejected.
+	PrunedPrograms int
+	// CacheHits/CacheMisses report statement-cache effectiveness.
+	CacheHits, CacheMisses int
+}
+
+// candidate is one DAG's fill outcome, reduced at the barrier in DAG order.
+type candidate struct {
+	prog   *dsl.Program
+	cov    float64
+	pruned bool
+}
+
+// SelectProgram fills each enumerated DAG's sketch and returns the
+// maximum-coverage ε-valid program (Alg. 2 inner loop). The DAGs fan out
+// across opts.Workers workers: each candidate is screened for local
+// non-triviality, filled through the shared statement cache (identical
+// GIVEN…ON… holes are concretized once across DAGs, §7), gated by the
+// semantic verifier, and coverage-scored. Both caches are singleflight and
+// every per-DAG outcome depends only on that DAG and the shared read-only
+// inputs, so the reduction — run in enumeration order at the barrier — is
+// identical at every worker count.
+func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, opts Options) (*Selection, error) {
+	opts.defaults()
 	fill := FillOptions{Epsilon: opts.Epsilon, MinSupport: opts.MinSupport}
 	cache := &StatementCache{}
-	best := &dsl.Program{}
+	lnt := &sketch.LNTCache{}
+	cands, err := par.Map(context.Background(), opts.Workers, len(dags),
+		func(_ context.Context, k int) (candidate, error) {
+			sk := sketch.FromDAG(dags[k])
+			if !opts.SkipGNT {
+				sk = pruneNonLNT(sk, data, opts.Alpha, lnt)
+			}
+			prog := FillProgram(rel, sk, fill, cache)
+			// Static verification gate: a candidate whose fill is degenerate
+			// (contradictory branches, dead statements, out-of-domain
+			// literals) would silently weaken the runtime guardrail, so it
+			// is pruned before it can win coverage scoring.
+			if fs := verify.Program(prog, rel); verify.HasErrors(fs) {
+				return candidate{pruned: true}, nil
+			}
+			return candidate{prog: prog, cov: dsl.Coverage(prog, rel)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{Program: &dsl.Program{}}
 	bestCov := -1.0
-	for _, d := range dags {
-		sk := sketch.FromDAG(d)
-		if !opts.SkipGNT {
-			sk = pruneNonLNT(sk, data, opts.Alpha)
-		}
-		prog := FillProgram(rel, sk, fill, cache)
-		// Static verification gate: a candidate whose fill is degenerate
-		// (contradictory branches, dead statements, out-of-domain literals)
-		// would silently weaken the runtime guardrail, so it is pruned
-		// before it can win coverage scoring.
-		if fs := verify.Program(prog, rel); verify.HasErrors(fs) {
-			res.PrunedPrograms++
+	for _, c := range cands {
+		if c.pruned {
+			sel.PrunedPrograms++
 			continue
 		}
-		cov := dsl.Coverage(prog, rel)
-		if cov > bestCov || (cov == bestCov && len(prog.Stmts) > len(best.Stmts)) {
-			best, bestCov = prog, cov
+		if c.cov > bestCov || (c.cov == bestCov && len(c.prog.Stmts) > len(sel.Program.Stmts)) {
+			sel.Program, bestCov = c.prog, c.cov
 		}
 	}
 	if bestCov < 0 {
 		bestCov = 0
 	}
-	res.Program = best
-	res.Coverage = bestCov
-	res.CacheHits, res.CacheMisses = cache.Stats()
-	res.FillTime = time.Since(t2)
-	return res, nil
+	sel.Coverage = bestCov
+	sel.CacheHits, sel.CacheMisses = cache.Stats()
+	return sel, nil
 }
 
 // pruneNonLNT drops statement sketches that fail local non-triviality —
 // conservative screening before the expensive fill. (Sketches extracted
 // from the learned CPDAG are GNT by Theorem 4.1 when the CPDAG is faithful;
-// the LNT re-check guards against finite-sample artifacts.)
-func pruneNonLNT(p sketch.Prog, d stats.Data, alpha float64) sketch.Prog {
+// the LNT re-check guards against finite-sample artifacts.) Outcomes are
+// memoized in lnt: the same (GIVEN set, ON) pair recurs across the DAGs of
+// a MEC and its screen depends only on that pair.
+func pruneNonLNT(p sketch.Prog, d stats.Data, alpha float64, lnt *sketch.LNTCache) sketch.Prog {
 	var out sketch.Prog
 	for _, s := range p.Stmts {
-		ok, err := sketch.LNT(s, d, alpha)
+		ok, err := lnt.LNT(s, d, alpha)
 		if err == nil && ok {
 			out.Stmts = append(out.Stmts, s)
 		}
