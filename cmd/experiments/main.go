@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"github.com/guardrail-db/guardrail/internal/experiments"
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/debug"
 )
 
 type renderer interface{ Render() string }
@@ -26,13 +28,26 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated Table 2 ids (default: all 12)")
 	fig7Dataset := flag.Int("fig7-dataset", 6, "dataset id for the fig7 epsilon sweep")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
+	report := flag.String("report", "", "write a JSON run-report (counters + stage timings) to this path")
+	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table3|table4|table5|table6|table7|table8|fig6|fig7|smt|gnt|all>")
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers}
+	reg := obs.New()
+	if *debugAddr != "" {
+		srv, err := debug.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers, Obs: reg}
 	if *datasets != "" {
 		for _, part := range strings.Split(*datasets, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
@@ -77,5 +92,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.Render())
+	}
+	if summary := reg.StageSummary(); summary != "" {
+		fmt.Fprint(os.Stderr, summary)
+	}
+	if *report != "" {
+		if err := obs.WriteReport(*report, "experiments "+which, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -105,6 +105,7 @@ func cmdSynth(args []string) error {
 	identity := fs.Bool("identity-sampler", false, "disable the auxiliary-distribution sampler")
 	asJSON := fs.Bool("json", false, "emit the program as JSON instead of the surface syntax")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,7 +116,11 @@ func cmdSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity, Workers: *workers})
+	reg, finish, err := of.start("synth")
+	if err != nil {
+		return err
+	}
+	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity, Workers: *workers, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -136,7 +141,10 @@ func cmdSynth(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "synthesized %d statements (coverage %.3f, %d DAGs in MEC, %d candidates pruned by verifier, %s total)\n",
 		len(res.Program.Stmts), res.Coverage, res.NumDAGs, res.PrunedPrograms, res.TotalTime().Round(1000))
-	return nil
+	if summary := reg.StageSummary(); summary != "" {
+		fmt.Fprint(os.Stderr, summary)
+	}
+	return finish()
 }
 
 // cmdLint runs the semantic verifier over a constraint file — the offline
@@ -203,6 +211,7 @@ func cmdCheck(args []string, rectify bool) error {
 	prog := fs.String("prog", "", "constraint file from `guardrail synth` (required)")
 	out := fs.String("out", "", "rectified CSV output (rectify only)")
 	strategy := fs.String("strategy", "ignore", "raise|ignore|coerce|rectify")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,7 +238,15 @@ func cmdCheck(args []string, rectify bool) error {
 	} else {
 		return err
 	}
-	rep, err := core.NewGuard(program, strat).Apply(rel)
+	command := "check"
+	if rectify {
+		command = "rectify"
+	}
+	reg, finish, err := of.start(command)
+	if err != nil {
+		return err
+	}
+	rep, err := core.NewGuard(program, strat).Instrument(reg).Apply(rel)
 	if err != nil {
 		return err
 	}
@@ -246,7 +263,7 @@ func cmdCheck(args []string, rectify bool) error {
 		}
 		fmt.Printf("wrote rectified data to %s\n", *out)
 	}
-	return nil
+	return finish()
 }
 
 func cmdAnalyze(args []string) error {

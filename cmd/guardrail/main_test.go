@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
 )
 
 // TestEndToEndWorkflow drives the CLI through the full gen → synth →
@@ -165,6 +169,88 @@ func TestCLIErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("no error for %v", args)
 		}
+	}
+}
+
+// TestSynthReportDeterministicAcrossWorkers exercises the -report flag end
+// to end: the counter section of the run-report must be byte-identical at
+// -workers 1 and -workers 8 on the same seed, and the stage section must
+// carry the three synthesis stages. Stage timings are wall-clock, so only
+// names are compared.
+func TestSynthReportDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	if err := run([]string{"gen", "-dataset", "6", "-scale", "0.05", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	load := func(workers string) obs.RunReport {
+		report := filepath.Join(dir, "report-w"+workers+".json")
+		if err := run([]string{"synth", "-in", data, "-seed", "7", "-workers", workers, "-report", report}); err != nil {
+			t.Fatalf("synth -workers %s: %v", workers, err)
+		}
+		raw, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep obs.RunReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("report -workers %s is not valid JSON: %v", workers, err)
+		}
+		return rep
+	}
+	serial := load("1")
+	parallel := load("8")
+	if serial.Command != "synth" {
+		t.Errorf("report command = %q, want synth", serial.Command)
+	}
+	if !reflect.DeepEqual(serial.Counters, parallel.Counters) {
+		t.Errorf("counters differ across worker counts:\nw1: %v\nw8: %v", serial.Counters, parallel.Counters)
+	}
+	stages := make(map[string]bool)
+	for _, s := range serial.Stages {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"synth.learn", "synth.enum", "synth.fill"} {
+		if !stages[want] {
+			t.Errorf("report missing stage %q (have %v)", want, serial.Stages)
+		}
+	}
+	for _, key := range []string{"pc.ci_tests", "synth.dags", "aux.samples"} {
+		if serial.Counters[key] == 0 {
+			t.Errorf("counter %q is zero in run-report: %v", key, serial.Counters)
+		}
+	}
+}
+
+// TestCheckReport: the check subcommand's run-report carries the guard
+// counters that mirror the printed Report.
+func TestCheckReport(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	prog := filepath.Join(dir, "constraints.gr")
+	report := filepath.Join(dir, "check.json")
+	if err := run([]string{"gen", "-dataset", "2", "-scale", "0.05", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"synth", "-in", data, "-out", prog}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-in", data, "-prog", prog, "-report", report}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Command != "check" {
+		t.Errorf("report command = %q, want check", rep.Command)
+	}
+	if rep.Counters["guard.ignore.rows_checked"] == 0 {
+		t.Errorf("guard.ignore.rows_checked missing from report: %v", rep.Counters)
 	}
 }
 

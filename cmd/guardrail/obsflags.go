@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/debug"
+)
+
+// obsFlags carries the observability flags shared by the pipeline
+// subcommands: -report writes the JSON run-report, -debug-addr serves
+// live expvar metrics and pprof profiles while the command runs.
+type obsFlags struct {
+	report    *string
+	debugAddr *string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		report:    fs.String("report", "", "write a JSON run-report (counters + stage timings) to this path"),
+		debugAddr: fs.String("debug-addr", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// start builds the metrics registry and, when -debug-addr is set, the
+// debug HTTP server. The returned finish func must run after the command's
+// work: it stops the server and writes the -report file.
+func (o *obsFlags) start(command string) (*obs.Registry, func() error, error) {
+	reg := obs.New()
+	var srv *debug.Server
+	if *o.debugAddr != "" {
+		s, err := debug.Serve(*o.debugAddr, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
+	}
+	finish := func() error {
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "guardrail: closing debug server:", err)
+			}
+		}
+		if *o.report != "" {
+			return obs.WriteReport(*o.report, command, reg)
+		}
+		return nil
+	}
+	return reg, finish, nil
+}

@@ -56,14 +56,22 @@ func (c *checker) checkFunc(body *ast.BlockStmt) {
 
 // --- check: nakedgo ---
 
-// checkNakedGo flags `go` statements outside internal/par. All pipeline
-// concurrency must route through the worker pool: the pool is what carries
-// the ordered-collection, cancellation, and panic-propagation guarantees
-// that keep parallel synthesis deterministic and debuggable. A goroutine
-// launched anywhere else sits outside those guarantees.
+// nakedGoExempt lists the packages allowed to use raw `go` statements:
+// the worker pool itself, and the debug HTTP server whose goroutine lives
+// for the whole process (http.Server owns its lifecycle, so routing it
+// through a par.Pool would add nothing).
+var nakedGoExempt = []string{"internal/par", "internal/obs/debug"}
+
+// checkNakedGo flags `go` statements outside the exempt packages. All
+// pipeline concurrency must route through the worker pool: the pool is what
+// carries the ordered-collection, cancellation, and panic-propagation
+// guarantees that keep parallel synthesis deterministic and debuggable. A
+// goroutine launched anywhere else sits outside those guarantees.
 func (c *checker) checkNakedGo(gs *ast.GoStmt) {
-	if c.pkgPath == "internal/par" || strings.HasSuffix(c.pkgPath, "/internal/par") {
-		return
+	for _, e := range nakedGoExempt {
+		if c.pkgPath == e || strings.HasSuffix(c.pkgPath, "/"+e) {
+			return
+		}
 	}
 	c.report(gs.Pos(), "nakedgo",
 		"naked go statement outside internal/par; submit the work to a par.Pool (or par.Map) so it inherits ordering, cancellation, and panic propagation")

@@ -65,6 +65,18 @@ func TestParFixtureExempt(t *testing.T) {
 	}
 }
 
+// TestDebugFixtureExempt: the debug HTTP server package may launch its
+// process-lifetime server goroutine without routing through the pool.
+func TestDebugFixtureExempt(t *testing.T) {
+	findings, err := analyze([]string{"./testdata/src/internal/obs/debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("internal/obs/debug fixture should be exempt from nakedgo: %v", findings)
+	}
+}
+
 // TestRepositoryIsClean is the acceptance gate: the whole module must lint
 // clean, so CI's `go run ./cmd/vetguard ./...` exits 0.
 func TestRepositoryIsClean(t *testing.T) {

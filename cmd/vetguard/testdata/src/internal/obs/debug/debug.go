@@ -1,0 +1,15 @@
+// Package debug is a vetguard test fixture standing in for the real debug
+// HTTP server: its import path ends in internal/obs/debug, the second
+// package on the nakedgo allowlist — the server goroutine it launches
+// lives for the whole process, so the worker pool's ordered-collection
+// guarantees would add nothing.
+package debug
+
+// Serve launches the server loop; exempt from the nakedgo check by
+// package path.
+func Serve(loop func(), done chan struct{}) {
+	go func() {
+		loop()
+		close(done)
+	}()
+}

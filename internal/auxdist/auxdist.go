@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/par"
 )
 
@@ -56,6 +57,9 @@ type Options struct {
 	// writes a disjoint pre-sized slice segment, so the output is
 	// byte-identical at any worker count.
 	Workers int
+	// Obs receives aux.shifts / aux.samples counters and the aux.sample
+	// stage timing; nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -70,6 +74,8 @@ func (o *Options) defaults() {
 // Sample draws from the auxiliary distribution of rel.
 func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 	opts.defaults()
+	span := opts.Obs.Histogram("aux.sample").Start()
+	defer span.Stop()
 	n := rel.NumRows()
 	if n < 2 {
 		return nil, fmt.Errorf("auxdist: need at least 2 rows, have %d", n)
@@ -117,6 +123,8 @@ func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 		}); err != nil {
 		return nil, err
 	}
+	opts.Obs.Counter("aux.shifts").Add(int64(len(shifts)))
+	opts.Obs.Counter("aux.samples").Add(int64(total))
 	return out, nil
 }
 

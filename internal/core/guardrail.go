@@ -10,6 +10,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/synth"
 )
 
@@ -78,12 +79,42 @@ var ErrViolation = errors.New("guardrail: integrity constraint violated")
 type Guard struct {
 	prog     *dsl.Program
 	strategy Strategy
+	metrics  guardMetrics
+}
+
+// guardMetrics holds the guard's pre-resolved counter handles; the zero
+// value (nil handles) makes every update a no-op, so an uninstrumented
+// guard pays nothing per row.
+type guardMetrics struct {
+	rowsChecked   *obs.Counter
+	rowsFlagged   *obs.Counter
+	cellsChanged  *obs.Counter
+	streamRows    *obs.Counter
+	streamFlagged *obs.Counter
+	streamChanged *obs.Counter
 }
 
 // NewGuard builds a guard. The program must have been validated against the
 // schema of the relations it will check.
 func NewGuard(prog *dsl.Program, strategy Strategy) *Guard {
 	return &Guard{prog: prog, strategy: strategy}
+}
+
+// Instrument registers the guard's per-strategy counters on reg
+// (guard.<strategy>.* for Apply, stream.<strategy>.* for StreamCSV) and
+// returns the guard for chaining. A nil registry leaves the guard
+// uninstrumented.
+func (g *Guard) Instrument(reg *obs.Registry) *Guard {
+	s := g.strategy.String()
+	g.metrics = guardMetrics{
+		rowsChecked:   reg.Counter("guard." + s + ".rows_checked"),
+		rowsFlagged:   reg.Counter("guard." + s + ".rows_flagged"),
+		cellsChanged:  reg.Counter("guard." + s + ".cells_changed"),
+		streamRows:    reg.Counter("stream." + s + ".rows"),
+		streamFlagged: reg.Counter("stream." + s + ".flagged"),
+		streamChanged: reg.Counter("stream." + s + ".changed"),
+	}
+	return g
 }
 
 // Program returns the guarded constraint program.
@@ -120,6 +151,8 @@ func (g *Guard) CheckRow(row []int32) ([]dsl.Violation, error) {
 
 // Report summarizes a relation-level guard pass.
 type Report struct {
+	// RowsChecked counts rows actually examined: under Raise an abort at
+	// row i reports i+1 checked rows, not the relation size.
 	RowsChecked  int
 	RowsFlagged  int
 	CellsChanged int
@@ -128,27 +161,35 @@ type Report struct {
 }
 
 // Apply runs the guard over every row of rel, mutating rel under
-// Coerce/Rectify. Under Raise it stops at the first violation.
+// Coerce/Rectify. Under Raise it stops at the first violation; the partial
+// Report returned alongside the error covers the rows examined, including
+// the violating one.
 func (g *Guard) Apply(rel *dataset.Relation) (*Report, error) {
 	n := rel.NumRows()
-	rep := &Report{RowsChecked: n, Flagged: make([]bool, n)}
+	rep := &Report{Flagged: make([]bool, n)}
 	row := make([]int32, rel.NumAttrs())
 	for i := 0; i < n; i++ {
 		row = rel.Row(i, row)
+		rep.RowsChecked++
+		g.metrics.rowsChecked.Inc()
 		vs, err := g.CheckRow(row)
+		if len(vs) > 0 {
+			rep.RowsFlagged++
+			rep.Flagged[i] = true
+			g.metrics.rowsFlagged.Inc()
+		}
 		if err != nil {
 			return rep, fmt.Errorf("row %d: %w", i, err)
 		}
 		if len(vs) == 0 {
 			continue
 		}
-		rep.RowsFlagged++
-		rep.Flagged[i] = true
 		if g.strategy == Coerce || g.strategy == Rectify {
 			for c := 0; c < rel.NumAttrs(); c++ {
 				if rel.Code(i, c) != row[c] {
 					rel.SetCode(i, c, row[c])
 					rep.CellsChanged++
+					g.metrics.cellsChanged.Inc()
 				}
 			}
 		}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+// cityFixture is a hand-built relation + program with exactly known
+// violation structure, so report fields can be asserted to the row:
+//
+//	row 0: 10001,NYC      clean (matches branch zip=10001 → NYC)
+//	row 1: 10001,LA       violation
+//	row 2: 94105,SF       clean
+//	row 3: 94105,Oakland  violation
+//	row 4: 77777,Houston  no branch matches → clean
+type cityFixture struct {
+	rel  *dataset.Relation
+	prog *dsl.Program
+	csv  string
+}
+
+func newCityFixture(t *testing.T) *cityFixture {
+	t.Helper()
+	rel := dataset.New("cities", []string{"zip", "city"})
+	rows := [][]string{
+		{"10001", "NYC"},
+		{"10001", "LA"},
+		{"94105", "SF"},
+		{"94105", "Oakland"},
+		{"77777", "Houston"},
+	}
+	for _, r := range rows {
+		if err := rel.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code := func(col int, v string) int32 {
+		c, ok := rel.Dict(col).Lookup(v)
+		if !ok {
+			t.Fatalf("fixture value %q not interned in column %d", v, col)
+		}
+		return c
+	}
+	prog := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0},
+		On:    1,
+		Branches: []dsl.Branch{
+			{Cond: dsl.Condition{{Attr: 0, Value: code(0, "10001")}}, Value: code(1, "NYC")},
+			{Cond: dsl.Condition{{Attr: 0, Value: code(0, "94105")}}, Value: code(1, "SF")},
+		},
+	}}}
+	if err := prog.Validate(rel); err != nil {
+		t.Fatal(err)
+	}
+	return &cityFixture{
+		rel:  rel,
+		prog: prog,
+		csv:  "zip,city\n10001,NYC\n10001,LA\n94105,SF\n94105,Oakland\n77777,Houston\n",
+	}
+}
+
+// TestCheckRowStrategies: per-strategy semantics of a single violating row.
+func TestCheckRowStrategies(t *testing.T) {
+	f := newCityFixture(t)
+	nyc, _ := f.rel.Dict(1).Lookup("NYC")
+	la, _ := f.rel.Dict(1).Lookup("LA")
+
+	cases := []struct {
+		strategy Strategy
+		wantErr  bool
+		wantCity int32
+	}{
+		{Raise, true, la},
+		{Ignore, false, la},
+		{Coerce, false, dataset.Missing},
+		{Rectify, false, nyc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.strategy.String(), func(t *testing.T) {
+			row := f.rel.Row(1, nil) // 10001,LA
+			vs, err := NewGuard(f.prog, tc.strategy).CheckRow(row)
+			if len(vs) != 1 {
+				t.Fatalf("violations = %v, want exactly one", vs)
+			}
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if tc.wantErr && !errors.Is(err, ErrViolation) {
+				t.Fatalf("error %v does not wrap ErrViolation", err)
+			}
+			if row[1] != tc.wantCity {
+				t.Errorf("city code after %s = %d, want %d", tc.strategy, row[1], tc.wantCity)
+			}
+		})
+	}
+}
+
+// TestApplyReportExact: Apply's report fields across all four strategies,
+// including the Raise partial report.
+func TestApplyReportExact(t *testing.T) {
+	cases := []struct {
+		strategy              Strategy
+		wantErr               bool
+		checked, flagged, chg int
+		flaggedRows           []int
+	}{
+		// Raise examines rows 0 and 1, flags the violating row 1, aborts.
+		{Raise, true, 2, 1, 0, []int{1}},
+		{Ignore, false, 5, 2, 0, []int{1, 3}},
+		{Coerce, false, 5, 2, 2, []int{1, 3}},
+		{Rectify, false, 5, 2, 2, []int{1, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.strategy.String(), func(t *testing.T) {
+			f := newCityFixture(t)
+			rel := f.rel.Clone()
+			rep, err := NewGuard(f.prog, tc.strategy).Apply(rel)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if rep.RowsChecked != tc.checked || rep.RowsFlagged != tc.flagged || rep.CellsChanged != tc.chg {
+				t.Fatalf("report = {checked:%d flagged:%d changed:%d}, want {%d %d %d}",
+					rep.RowsChecked, rep.RowsFlagged, rep.CellsChanged, tc.checked, tc.flagged, tc.chg)
+			}
+			want := make([]bool, 5)
+			for _, i := range tc.flaggedRows {
+				want[i] = true
+			}
+			for i := range want {
+				if rep.Flagged[i] != want[i] {
+					t.Errorf("Flagged[%d] = %v, want %v", i, rep.Flagged[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestApplyRectifyConverges: a rectified relation re-applies clean.
+func TestApplyRectifyConverges(t *testing.T) {
+	f := newCityFixture(t)
+	rel := f.rel.Clone()
+	if _, err := NewGuard(f.prog, Rectify).Apply(rel); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewGuard(f.prog, Ignore).Apply(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsFlagged != 0 {
+		t.Fatalf("%d rows still flagged after rectify", rep.RowsFlagged)
+	}
+}
+
+// TestStreamStatsExact: StreamCSV stats across all four strategies.
+func TestStreamStatsExact(t *testing.T) {
+	cases := []struct {
+		strategy            Strategy
+		wantErr             bool
+		rows, flagged, chgd int
+	}{
+		// Raise writes the clean row 0, flags the violating row 1, aborts.
+		{Raise, true, 1, 1, 0},
+		{Ignore, false, 5, 2, 0},
+		{Coerce, false, 5, 2, 2},
+		{Rectify, false, 5, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.strategy.String(), func(t *testing.T) {
+			f := newCityFixture(t)
+			var out bytes.Buffer
+			stats, err := NewGuard(f.prog, tc.strategy).StreamCSV(strings.NewReader(f.csv), &out, f.rel.Clone())
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if tc.wantErr && !errors.Is(err, ErrViolation) {
+				t.Fatalf("error %v does not wrap ErrViolation", err)
+			}
+			got := StreamStats{Rows: stats.Rows, Flagged: stats.Flagged, Changed: stats.Changed}
+			want := StreamStats{Rows: tc.rows, Flagged: tc.flagged, Changed: tc.chgd}
+			if got != want {
+				t.Fatalf("stats = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamCoerceRoundTrip: coerce writes empty cells for violating
+// values; re-streaming that output under coerce re-flags the same rows
+// (Missing still differs from the expected value) but changes nothing,
+// and the bytes are a fixed point.
+func TestStreamCoerceRoundTrip(t *testing.T) {
+	f := newCityFixture(t)
+	var first bytes.Buffer
+	stats, err := NewGuard(f.prog, Coerce).StreamCSV(strings.NewReader(f.csv), &first, f.rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed != 2 {
+		t.Fatalf("first pass changed %d cells, want 2", stats.Changed)
+	}
+	if !strings.Contains(first.String(), "10001,\n") || !strings.Contains(first.String(), "94105,\n") {
+		t.Fatalf("coerced output missing empty cells:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	stats2, err := NewGuard(f.prog, Coerce).StreamCSV(strings.NewReader(first.String()), &second, f.rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StreamStats{Rows: 5, Flagged: 2, Changed: 0}
+	if *stats2 != want {
+		t.Fatalf("round-trip stats = %+v, want %+v", *stats2, want)
+	}
+	if second.String() != first.String() {
+		t.Fatalf("coerce output is not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+// TestStreamRectifyConverges: rectified stream output re-streams clean.
+func TestStreamRectifyConverges(t *testing.T) {
+	f := newCityFixture(t)
+	var first bytes.Buffer
+	stats, err := NewGuard(f.prog, Rectify).StreamCSV(strings.NewReader(f.csv), &first, f.rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed != 2 {
+		t.Fatalf("rectify changed %d cells, want 2", stats.Changed)
+	}
+	var second bytes.Buffer
+	stats2, err := NewGuard(f.prog, Ignore).StreamCSV(strings.NewReader(first.String()), &second, f.rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Flagged != 0 {
+		t.Fatalf("%d rows still violate after streaming rectify", stats2.Flagged)
+	}
+}
+
+// TestStreamDuplicateHeader is the regression test for the duplicate
+// header-column bug: "zip,zip" has the right width but never writes the
+// city attribute, so it must be rejected up front.
+func TestStreamDuplicateHeader(t *testing.T) {
+	f := newCityFixture(t)
+	var out bytes.Buffer
+	_, err := NewGuard(f.prog, Ignore).StreamCSV(
+		strings.NewReader("zip,zip\n10001,10001\n"), &out, f.rel.Clone())
+	if err == nil {
+		t.Fatal("duplicate header column accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("error %q does not mention the duplicate column", err)
+	}
+}
+
+// TestGuardInstrumentation: counters mirror the report/stats, keyed by
+// strategy, and a nil registry is a safe no-op.
+func TestGuardInstrumentation(t *testing.T) {
+	f := newCityFixture(t)
+	reg := obs.New()
+	g := NewGuard(f.prog, Rectify).Instrument(reg)
+	if _, err := g.Apply(f.rel.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := g.StreamCSV(strings.NewReader(f.csv), &out, f.rel.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := map[string]int64{
+		"guard.rectify.rows_checked":  5,
+		"guard.rectify.rows_flagged":  2,
+		"guard.rectify.cells_changed": 2,
+		"stream.rectify.rows":         5,
+		"stream.rectify.flagged":      2,
+		"stream.rectify.changed":      2,
+	}
+	snap := reg.Snapshot()
+	for name, want := range wantCounters {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+
+	// Instrument(nil) must keep the guard fully functional.
+	g2 := NewGuard(f.prog, Ignore).Instrument(nil)
+	rep, err := g2.Apply(f.rel.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsChecked != 5 || rep.RowsFlagged != 2 {
+		t.Fatalf("uninstrumented guard report = %+v", rep)
+	}
+}

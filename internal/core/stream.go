@@ -34,12 +34,22 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 	if len(header) != schema.NumAttrs() {
 		return nil, fmt.Errorf("core: stream has %d columns, schema has %d", len(header), schema.NumAttrs())
 	}
+	// Map header columns to schema attributes, rejecting duplicates: a
+	// duplicated name passes the width check while another attribute is
+	// never written, so its slot would silently carry a stale value. With
+	// duplicates rejected, width match + pigeonhole guarantees every
+	// schema attribute is covered.
 	colOf := make([]int, len(header))
+	seen := make([]bool, schema.NumAttrs())
 	for i, h := range header {
 		idx := schema.AttrIndex(h)
 		if idx < 0 {
 			return nil, fmt.Errorf("core: stream column %q not in schema", h)
 		}
+		if seen[idx] {
+			return nil, fmt.Errorf("core: duplicate stream column %q", h)
+		}
+		seen[idx] = true
 		colOf[i] = idx
 	}
 	if err := cw.Write(header); err != nil {
@@ -69,16 +79,20 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 		}
 		before := append([]int32(nil), row...)
 		vs, err := g.CheckRow(row)
+		if len(vs) > 0 {
+			// Count the violation before a Raise abort: the row was
+			// detected even though it is not written downstream.
+			stats.Flagged++
+			g.metrics.streamFlagged.Inc()
+		}
 		if err != nil {
 			return stats, fmt.Errorf("core: row %d: %w", stats.Rows, err)
-		}
-		if len(vs) > 0 {
-			stats.Flagged++
 		}
 		for i := range rec {
 			c := row[colOf[i]]
 			if c != before[colOf[i]] {
 				stats.Changed++
+				g.metrics.streamChanged.Inc()
 			}
 			out[i] = schema.Dict(colOf[i]).Value(c)
 			if c == dataset.Missing {
@@ -89,6 +103,7 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 			return stats, err
 		}
 		stats.Rows++
+		g.metrics.streamRows.Inc()
 	}
 	cw.Flush()
 	return stats, cw.Error()

@@ -104,8 +104,13 @@ func Inject(rel *dataset.Relation, opts Options) (*Mask, error) {
 		col := cols[rng.Intn(len(cols))]
 		clean := rel.Code(row, col)
 		dirty := corrupt(rel, col, clean, rng, opts.RandomStringProb)
-		if dirty == clean {
-			continue // single-valued column with no random string drawn
+		for dirty == clean {
+			// corrupt can reproduce the clean code (e.g. the cell already
+			// holds a random string from an earlier injection pass). Retry
+			// with a fresh random string rather than dropping the
+			// corruption — the §8 protocol promises exactly target errors,
+			// and a fresh draw eventually interns a new code.
+			dirty = rel.Intern(col, randomString(rng))
 		}
 		rel.SetCode(row, col, dirty)
 		mask.RowDirty[row] = true

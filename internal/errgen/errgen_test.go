@@ -27,9 +27,14 @@ func TestInjectCountsAndMask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The target is exact: Inject retries a corruption that reproduced the
+	// clean code instead of silently dropping it.
 	want := 50
-	if got := mask.NumErrors(); got > want || got < want-5 {
-		t.Fatalf("NumErrors = %d, want ~%d", got, want)
+	if got := mask.NumErrors(); got != want {
+		t.Fatalf("NumErrors = %d, want exactly %d", got, want)
+	}
+	if got := len(mask.Cells); got != want {
+		t.Fatalf("mask has %d cells, want exactly %d", got, want)
 	}
 	// Every masked cell must differ from the clean relation; every unmasked
 	// row must be identical.
@@ -52,6 +57,40 @@ func TestInjectCountsAndMask(t *testing.T) {
 				t.Fatalf("unflagged row %d changed at col %d", i, j)
 			}
 		}
+	}
+}
+
+// TestInjectRetriesCleanCollision is the regression test for the dropped
+// corruption bug: injecting twice with the same seed makes the second
+// pass draw the same random string the cell already holds (dirty ==
+// clean), which the old code skipped, delivering 0 of the 1 promised
+// error.
+func TestInjectRetriesCleanCollision(t *testing.T) {
+	r := dataset.New("t", []string{"a"})
+	for i := 0; i < 2; i++ {
+		if err := r.AppendRow([]string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{Rate: 0.5, MinErrors: 1, RandomStringProb: 1, Seed: 11}
+	m1, err := Inject(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.NumErrors() != 1 {
+		t.Fatalf("first pass: NumErrors = %d, want 1", m1.NumErrors())
+	}
+	// Same seed → same row, same random string → the cell already holds it.
+	m2, err := Inject(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumErrors() != 1 {
+		t.Fatalf("second pass: NumErrors = %d, want 1 (collision must retry, not drop)", m2.NumErrors())
+	}
+	c := m2.Cells[0]
+	if c.Clean == c.Dirty {
+		t.Fatalf("mask records a no-op corruption: %+v", c)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/errgen"
 	"github.com/guardrail-db/guardrail/internal/ml"
+	"github.com/guardrail-db/guardrail/internal/obs"
 )
 
 // Config scales the experiments. Scale 1.0 reproduces Table 2 row counts;
@@ -45,6 +46,9 @@ type Config struct {
 	// core, 1 forces the serial pipeline. Results are identical at any
 	// value — only wall-clock changes.
 	Workers int
+	// Obs receives pipeline counters and stage timings from every
+	// synthesis run an experiment performs; nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c Config) alphaOrDefault() float64 {
@@ -156,6 +160,7 @@ func synthOptions(cfg Config, seed int64) core.Options {
 		AuxMaxSamples: 120000,
 		Seed:          seed,
 		Workers:       cfg.Workers,
+		Obs:           cfg.Obs,
 	}
 }
 

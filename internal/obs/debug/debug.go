@@ -1,0 +1,93 @@
+// Package debug serves live observability over HTTP: the process expvar
+// page plus net/http/pprof profiles, and the guardrail metrics registry
+// published as an expvar variable. It exists as its own package (rather
+// than inside obs) so the single `go` statement that runs the HTTP server
+// is confined to one vetguard-exempt leaf — the rest of the pipeline
+// still routes all concurrency through internal/par.
+package debug
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+// published holds the registry the expvar variable reads from.
+// expvar.Publish panics on duplicate names, so the Publish call itself is
+// once-guarded while the registry pointer stays swappable: tests (and a
+// CLI that serves twice) each see their latest registry.
+var published struct {
+	once sync.Once
+	mu   sync.Mutex
+	reg  *obs.Registry
+}
+
+func publish(reg *obs.Registry) {
+	published.mu.Lock()
+	published.reg = reg
+	published.mu.Unlock()
+	published.once.Do(func() {
+		expvar.Publish("guardrail", expvar.Func(func() any {
+			published.mu.Lock()
+			r := published.reg
+			published.mu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve publishes reg under the "guardrail" expvar name and starts an
+// HTTP server on addr exposing /debug/vars and /debug/pprof/*. It uses a
+// private mux so importing net/http/pprof-style handlers never pollutes
+// http.DefaultServeMux. The listener is bound synchronously — a bad addr
+// fails here, not in the background goroutine.
+func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	publish(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go s.serve() // nakedgo-exempt package: server lifetime is the process lifetime
+	return s, nil
+}
+
+func (s *Server) serve() {
+	// ErrServerClosed after Close is the expected shutdown path; any other
+	// error means the debug server died, which must not take the pipeline
+	// down with it.
+	_ = s.srv.Serve(s.ln)
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,118 @@
+package debug
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close body: %v", err)
+		}
+	}()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServeExpvar: /debug/vars carries the published registry snapshot
+// and reflects live updates.
+func TestServeExpvar(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("guard.raise.rows_checked").Add(7)
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+
+	code, body := get(t, "http://"+s.Addr+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d\n%s", code, body)
+	}
+	var vars struct {
+		Guardrail obs.Snapshot `json:"guardrail"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output does not parse: %v\n%s", err, body)
+	}
+	if vars.Guardrail.Counters["guard.raise.rows_checked"] != 7 {
+		t.Errorf("counters = %v", vars.Guardrail.Counters)
+	}
+
+	// Live: a later increment is visible on the next scrape.
+	reg.Counter("guard.raise.rows_checked").Add(3)
+	_, body = get(t, "http://"+s.Addr+"/debug/vars")
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Guardrail.Counters["guard.raise.rows_checked"] != 10 {
+		t.Errorf("live counters = %v, want 10", vars.Guardrail.Counters)
+	}
+}
+
+// TestServePprof: the pprof index and a cheap profile endpoint respond.
+func TestServePprof(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+
+	code, body := get(t, "http://"+s.Addr+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d\n%s", code, body)
+	}
+	code, _ = get(t, "http://"+s.Addr+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Errorf("goroutine profile: status %d", code)
+	}
+}
+
+// TestServeTwice: publishing is idempotent (expvar.Publish panics on a
+// duplicate name if unguarded) and the latest registry wins.
+func TestServeTwice(t *testing.T) {
+	reg2 := obs.New()
+	reg2.Counter("second").Inc()
+	for i, reg := range []*obs.Registry{obs.New(), reg2} {
+		s, err := Serve("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatalf("serve #%d: %v", i, err)
+		}
+		_, body := get(t, "http://"+s.Addr+"/debug/vars")
+		if i == 1 && !strings.Contains(string(body), "second") {
+			t.Errorf("latest registry not published:\n%s", body)
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}
+}
+
+// TestServeBadAddr: listen errors surface synchronously.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("127.0.0.1:-1", obs.New()); err == nil {
+		t.Fatal("want error for invalid address")
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every handle from a nil registry is a usable no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter Value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge Value = %d, want 0", g.Value())
+	}
+	h := r.Histogram("z")
+	h.Observe(42)
+	sp := h.Start()
+	if d := sp.Stop(); d != 0 {
+		t.Errorf("nil span Stop = %v, want 0", d)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Stages) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if s := r.StageSummary(); s != "" {
+		t.Errorf("nil registry StageSummary = %q, want empty", s)
+	}
+}
+
+// TestCounterGaugeBasics: handles are cached per name and accumulate.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("rows")
+	c.Inc()
+	c.Add(9)
+	if r.Counter("rows").Value() != 10 {
+		t.Errorf("counter = %d, want 10", r.Counter("rows").Value())
+	}
+	if r.Counter("rows") != c {
+		t.Error("Counter not cached by name")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Add(-2)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %d, want 6", g.Value())
+	}
+}
+
+// TestHistogramQuantiles: min/max/sum over everything, quantiles over the
+// ring, even past the ring boundary.
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("stage")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.snapshot("stage")
+	if s.Count != 100 || s.MinNS != 1 || s.MaxNS != 100 || s.TotalNS != 5050 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.P50NS < 45 || s.P50NS > 55 {
+		t.Errorf("p50 = %d, want ~50", s.P50NS)
+	}
+	if s.P99NS < 95 || s.P99NS > 100 {
+		t.Errorf("p99 = %d, want ~99", s.P99NS)
+	}
+
+	// Overflow the ring: stats still cover all observations.
+	for i := 0; i < histRing*2; i++ {
+		h.Observe(7)
+	}
+	s = h.snapshot("stage")
+	if s.Count != int64(100+histRing*2) {
+		t.Errorf("count after overflow = %d", s.Count)
+	}
+	if s.P50NS != 7 {
+		t.Errorf("p50 after ring overflow = %d, want 7 (ring holds only recent values)", s.P50NS)
+	}
+	if s.MinNS != 1 || s.MaxNS != 100 {
+		t.Errorf("min/max must survive ring eviction: %+v", s)
+	}
+}
+
+// TestSpan records a plausible duration.
+func TestSpan(t *testing.T) {
+	r := New()
+	sp := r.Histogram("work").Start()
+	time.Sleep(time.Millisecond)
+	d := sp.Stop()
+	if d < time.Millisecond {
+		t.Errorf("span duration %v < 1ms", d)
+	}
+	s := r.Snapshot()
+	if len(s.Stages) != 1 || s.Stages[0].Count != 1 || s.Stages[0].TotalNS < int64(time.Millisecond) {
+		t.Errorf("stage snapshot = %+v", s.Stages)
+	}
+}
+
+// TestConcurrentAccess is the -race guard for registry and handles.
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Snapshot().Stages[0].Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestWriteReport round-trips the JSON document.
+func TestWriteReport(t *testing.T) {
+	r := New()
+	r.Counter("pc.ci_tests").Add(12)
+	r.Gauge("synth.workers").Set(4)
+	r.Histogram("synth.learn").Observe(1000)
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, "synth", r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Command != "synth" {
+		t.Errorf("command = %q", rep.Command)
+	}
+	if rep.Counters["pc.ci_tests"] != 12 {
+		t.Errorf("counters = %v", rep.Counters)
+	}
+	if rep.Gauges["synth.workers"] != 4 {
+		t.Errorf("gauges = %v", rep.Gauges)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "synth.learn" {
+		t.Errorf("stages = %+v", rep.Stages)
+	}
+}
+
+// TestWriteReportNilRegistry: -report without instrumentation still emits
+// valid JSON.
+func TestWriteReportNilRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := WriteReport(path, "check", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters == nil || rep.Stages == nil {
+		t.Errorf("empty report should have non-nil sections: %+v", rep)
+	}
+}
+
+// TestStageSummary renders one aligned line per stage.
+func TestStageSummary(t *testing.T) {
+	r := New()
+	r.Histogram("synth.learn").Observe(int64(3 * time.Millisecond))
+	r.Histogram("synth.enum").Observe(int64(time.Millisecond))
+	got := r.StageSummary()
+	if !strings.Contains(got, "synth.learn") || !strings.Contains(got, "synth.enum") {
+		t.Errorf("summary missing stages:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 stages
+		t.Errorf("summary has %d lines, want 3:\n%s", len(lines), got)
+	}
+}
+
+// TestDisabledPathZeroAlloc is the acceptance-criteria check: with a nil
+// registry every hot-path operation performs zero allocations.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(5)
+		sp := h.Start()
+		sp.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterZeroAlloc: even enabled, counter/gauge/histogram
+// updates through pre-resolved handles must not allocate.
+func TestEnabledCounterZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(9)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().Stop()
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := New().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageSnapshot is the reduced view of one stage histogram. All values are
+// nanoseconds (except Count); they are wall-clock derived and therefore
+// never diffed by tests — only the counters section is deterministic.
+type StageSnapshot struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MinNS   int64  `json:"min_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P90NS   int64  `json:"p90_ns"`
+	P99NS   int64  `json:"p99_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Counters are
+// schedule-independent and identical across worker counts on the same
+// seed; gauges and stages may legitimately differ between runs.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Stages   []StageSnapshot  `json:"stages"`
+}
+
+// Snapshot copies the registry's current state. Safe on a nil registry
+// (returns an empty snapshot) and concurrently with metric updates.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Stages: []StageSnapshot{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Stages = append(s.Stages, hists[name].snapshot(name))
+	}
+	return s
+}
+
+// RunReport is the JSON document written by -report: which command ran,
+// plus the full metrics snapshot.
+type RunReport struct {
+	Command string `json:"command"`
+	Snapshot
+}
+
+// WriteReport snapshots reg and writes a RunReport to path as indented
+// JSON. A nil registry writes an empty (but valid) report.
+func WriteReport(path, command string, reg *Registry) error {
+	rep := RunReport{Command: command, Snapshot: reg.Snapshot()}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+// StageSummary renders the stage histograms as an aligned human-readable
+// table (one line per stage), for printing after synthesis. Empty string
+// when no stages were recorded or the registry is nil.
+func (r *Registry) StageSummary() string {
+	s := r.Snapshot()
+	if len(s.Stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s\n", "stage", "count", "total", "p50", "max")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "%-16s %8d %12s %12s %12s\n",
+			st.Name, st.Count,
+			time.Duration(st.TotalNS).Round(time.Microsecond),
+			time.Duration(st.P50NS).Round(time.Microsecond),
+			time.Duration(st.MaxNS).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
@@ -31,6 +32,9 @@ type Options struct {
 	// order-independence property) and are merged at the level barrier in
 	// a fixed edge order.
 	Workers int
+	// Obs receives pc.ci_tests / pc.edges_removed counters and the
+	// pc.learn stage timing; nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -61,6 +65,8 @@ type Result struct {
 // Learn runs the PC algorithm over d.
 func Learn(d stats.Data, opts Options) (*Result, error) {
 	opts.defaults()
+	span := opts.Obs.Histogram("pc.learn").Start()
+	defer span.Stop()
 	n := d.NumVars()
 	if n == 0 {
 		return nil, fmt.Errorf("pc: no variables")
@@ -117,6 +123,8 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 
 	cp := graph.OrientVStructures(skel, sep)
 	graph.MeekClose(cp)
+	opts.Obs.Counter("pc.ci_tests").Add(int64(tests))
+	opts.Obs.Counter("pc.edges_removed").Add(int64(len(sep)))
 	return &Result{CPDAG: cp, Skeleton: skel, SepSets: sep, Tests: tests}, nil
 }
 

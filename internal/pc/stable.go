@@ -80,6 +80,7 @@ func (r *resample) Codes(i int) []int32 {
 // at every worker count.
 func LearnStable(d stats.Data, opts StableOptions) (*Result, error) {
 	opts.defaults()
+	opts.Obs.Counter("pc.bootstrap_rounds").Add(int64(opts.Rounds))
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n := d.NumVars()
 	samples := make([]*resample, opts.Rounds)

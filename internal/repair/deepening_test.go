@@ -1,0 +1,170 @@
+package repair
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+// fanFixture is a hand-built program with known branching, so search-cost
+// assertions are exact. Four attributes: a determinant d (attr 0) and
+// three dependents x1..x3 (attrs 1..3). Each dependent has one statement
+// with four branches (one per determinant value), giving every dependent
+// four candidate values and the determinant four — a wide, fully known
+// search tree. Codes are chosen so the correct value (3) sorts last among
+// equal-weight candidates, forcing the DFS to exhaust the wrong ones
+// first.
+func fanFixture() *dsl.Program {
+	stmts := make([]dsl.Statement, 3)
+	for i := range stmts {
+		on := i + 1
+		branches := make([]dsl.Branch, 4)
+		for dv := int32(0); dv < 4; dv++ {
+			// Under determinant value dv, dependent must be dv ^ 3: value 3
+			// when d=0 (the row under test), other codes otherwise.
+			branches[dv] = dsl.Branch{
+				Cond:  dsl.Condition{{Attr: 0, Value: dv}},
+				Value: dv ^ 3,
+			}
+		}
+		stmts[i] = dsl.Statement{Given: []int{0}, On: on, Branches: branches}
+	}
+	return &dsl.Program{Stmts: stmts}
+}
+
+// detectCalls runs fn on an instrumented clone of r and reports how many
+// times the program's Detect was invoked.
+func detectCalls(prog *dsl.Program, opts Options, fn func(r *Repairer)) int64 {
+	reg := obs.New()
+	fn(New(prog, opts).Instrument(reg))
+	return reg.Counter("repair.detect_calls").Value()
+}
+
+// refRepairNestedDeepening reproduces the pre-fix algorithm — iterative
+// deepening nested inside every recursion level — against the same
+// candidate tables, counting Detect calls. It exists only as the
+// regression baseline for TestSearchNoNestedDeepening.
+func refRepairNestedDeepening(r *Repairer, row []int32) (edits []Edit, detects int) {
+	var search func(row []int32, acc []Edit, budget int) []Edit
+	search = func(row []int32, acc []Edit, budget int) []Edit {
+		detects++
+		vs := r.prog.Detect(row)
+		if len(vs) == 0 {
+			return append([]Edit(nil), acc...)
+		}
+		if budget == 0 {
+			return nil
+		}
+		touch := map[int]bool{}
+		for _, v := range vs {
+			touch[v.Attr] = true
+			for _, g := range r.prog.Stmts[v.Stmt].Given {
+				touch[g] = true
+			}
+		}
+		attrs := make([]int, 0, len(touch))
+		for a := range touch {
+			if edited(acc, a) {
+				continue
+			}
+			attrs = append(attrs, a)
+		}
+		sort.Ints(attrs)
+		for depth := 1; depth <= budget; depth++ {
+			for _, a := range attrs {
+				orig := row[a]
+				for _, cand := range r.candidates[a] {
+					if cand == orig {
+						continue
+					}
+					row[a] = cand
+					if res := search(row, append(acc, Edit{Attr: a, From: orig, To: cand}), depth-1); res != nil {
+						row[a] = orig
+						return res
+					}
+				}
+				row[a] = orig
+			}
+		}
+		return nil
+	}
+	detects++ // the Repair-level clean check
+	if len(r.prog.Detect(row)) == 0 {
+		return nil, detects
+	}
+	work := append([]int32(nil), row...)
+	best := search(work, nil, r.opts.MaxEdits)
+	if best == nil {
+		return nil, detects
+	}
+	for _, e := range best {
+		row[e.Attr] = e.To
+	}
+	return best, detects
+}
+
+// TestRepairTwoEditMinimal: with a generous budget (MaxEdits 3) a 2-edit
+// repair is found as exactly 2 edits — deepening runs outermost, so the
+// depth-2 round fires before any 3-edit state is ever generated.
+func TestRepairTwoEditMinimal(t *testing.T) {
+	prog := fanFixture()
+	// d=0: all dependents must be 3. x3 is already correct; x1, x2 hold the
+	// out-of-domain code 4 → minimal repair is exactly {x1→3, x2→3}.
+	row := []int32{0, 4, 4, 3}
+	r := New(prog, Options{MaxEdits: 3})
+	edits, ok := r.Repair(row)
+	if !ok {
+		t.Fatal("2-edit repair not found")
+	}
+	if len(edits) != 2 {
+		t.Fatalf("edits = %v, want exactly 2 (fewer-edits-first)", edits)
+	}
+	if len(prog.Detect(row)) != 0 {
+		t.Fatalf("row still violates after repair: %v", row)
+	}
+	if row[1] != 3 || row[2] != 3 {
+		t.Fatalf("row repaired to %v, want [0 3 3 3]", row)
+	}
+}
+
+// TestSearchNoNestedDeepening is the cost regression test: on a 3-edit
+// repair the pre-fix algorithm re-runs shallow deepening rounds inside
+// every budget>=2 recursion, re-visiting 1-edit child states already
+// covered by the outer rounds. The fixed search must find the identical
+// repair with strictly fewer Detect calls than the nested-deepening
+// reference.
+func TestSearchNoNestedDeepening(t *testing.T) {
+	prog := fanFixture()
+	opts := Options{MaxEdits: 3}
+	dirty := []int32{0, 4, 4, 4} // all three dependents corrupted
+
+	row := append([]int32(nil), dirty...)
+	var edits []Edit
+	var ok bool
+	got := detectCalls(prog, opts, func(r *Repairer) {
+		edits, ok = r.Repair(row)
+	})
+	if !ok || len(edits) != 3 {
+		t.Fatalf("repair = %v ok=%v, want 3 edits", edits, ok)
+	}
+	if len(prog.Detect(row)) != 0 {
+		t.Fatal("row still violates after repair")
+	}
+
+	refRow := append([]int32(nil), dirty...)
+	refEdits, refDetects := refRepairNestedDeepening(New(prog, opts), refRow)
+	if len(refEdits) != len(edits) {
+		t.Fatalf("reference found %v, fixed found %v", refEdits, edits)
+	}
+	for i := range edits {
+		if edits[i] != refEdits[i] {
+			t.Fatalf("edit %d differs: %v vs reference %v", i, edits[i], refEdits[i])
+		}
+	}
+	if got >= int64(refDetects) {
+		t.Fatalf("fixed search used %d Detect calls, reference (nested deepening) used %d — want strictly fewer", got, refDetects)
+	}
+	t.Logf("detect calls: fixed=%d, nested-deepening reference=%d", got, refDetects)
+}

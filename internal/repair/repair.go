@@ -13,6 +13,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs"
 )
 
 // Options bounds the search.
@@ -48,6 +49,15 @@ type Repairer struct {
 	opts       Options
 	candidates map[int][]int32 // attr -> candidate codes, deterministic order
 	attrs      []int           // attrs mentioned anywhere in the program
+	metrics    repairMetrics
+}
+
+// repairMetrics holds pre-resolved counters; the zero value no-ops.
+type repairMetrics struct {
+	attempts     *obs.Counter
+	repaired     *obs.Counter
+	unrepairable *obs.Counter
+	detectCalls  *obs.Counter
 }
 
 // New builds a repairer for prog.
@@ -100,8 +110,21 @@ func New(prog *dsl.Program, opts Options) *Repairer {
 	return r
 }
 
+// Instrument registers the repairer's counters (repair.*) on reg and
+// returns the repairer for chaining. A nil registry is a no-op.
+func (r *Repairer) Instrument(reg *obs.Registry) *Repairer {
+	r.metrics = repairMetrics{
+		attempts:     reg.Counter("repair.attempts"),
+		repaired:     reg.Counter("repair.repaired"),
+		unrepairable: reg.Counter("repair.unrepairable"),
+		detectCalls:  reg.Counter("repair.detect_calls"),
+	}
+	return r
+}
+
 // violationCount counts statement violations of row.
 func (r *Repairer) violationCount(row []int32) int {
+	r.metrics.detectCalls.Inc()
 	return len(r.prog.Detect(row))
 }
 
@@ -110,12 +133,23 @@ func (r *Repairer) violationCount(row []int32) int {
 // candidate values are mentioned more often by the program. On success the
 // row is modified in place and the edits returned; ok is false when no
 // bounded repair exists (the row is left untouched).
+//
+// Iterative deepening lives here and only here: each depth bound runs one
+// plain depth-bounded DFS, so states at depth d are visited once per
+// deepening round, never re-explored by nested deepening loops inside the
+// recursion.
 func (r *Repairer) Repair(row []int32) (edits []Edit, ok bool) {
 	if r.violationCount(row) == 0 {
 		return nil, true
 	}
+	r.metrics.attempts.Inc()
 	work := append([]int32(nil), row...)
-	best := r.search(work, nil, r.opts.MaxEdits)
+	var best []Edit
+	for depth := 1; depth <= r.opts.MaxEdits; depth++ {
+		if best = r.search(work, nil, depth); best != nil {
+			break
+		}
+	}
 	if best == nil {
 		return nil, false
 	}
@@ -125,11 +159,13 @@ func (r *Repairer) Repair(row []int32) (edits []Edit, ok bool) {
 	return best, true
 }
 
-// search tries edit sets of increasing size over the attributes involved
-// in current violations (and their statements' determinants), depth-first
-// with the budget as depth bound. Candidate order encodes preference, and
-// the first full repair found at the shallowest depth wins.
+// search is a plain depth-bounded DFS over edit sets on the attributes
+// involved in current violations (and their statements' determinants).
+// Candidate order encodes preference; the first full repair found within
+// the budget wins. Fewer-edits-first is the caller's responsibility
+// (Repair deepens the budget one edit at a time).
 func (r *Repairer) search(row []int32, acc []Edit, budget int) []Edit {
+	r.metrics.detectCalls.Inc()
 	vs := r.prog.Detect(row)
 	if len(vs) == 0 {
 		return append([]Edit(nil), acc...)
@@ -154,21 +190,19 @@ func (r *Repairer) search(row []int32, acc []Edit, budget int) []Edit {
 		attrs = append(attrs, a)
 	}
 	sort.Ints(attrs)
-	for depth := 1; depth <= budget; depth++ {
-		for _, a := range attrs {
-			orig := row[a]
-			for _, cand := range r.candidates[a] {
-				if cand == orig {
-					continue
-				}
-				row[a] = cand
-				if res := r.search(row, append(acc, Edit{Attr: a, From: orig, To: cand}), depth-1); res != nil {
-					row[a] = orig
-					return res
-				}
+	for _, a := range attrs {
+		orig := row[a]
+		for _, cand := range r.candidates[a] {
+			if cand == orig {
+				continue
 			}
-			row[a] = orig
+			row[a] = cand
+			if res := r.search(row, append(acc, Edit{Attr: a, From: orig, To: cand}), budget-1); res != nil {
+				row[a] = orig
+				return res
+			}
 		}
+		row[a] = orig
 	}
 	return nil
 }
@@ -188,15 +222,17 @@ func (r *Repairer) Apply(rel *dataset.Relation) (repaired, unrepairable int, err
 	row := make([]int32, rel.NumAttrs())
 	for i := 0; i < rel.NumRows(); i++ {
 		row = rel.Row(i, row)
-		if len(r.prog.Detect(row)) == 0 {
+		if r.violationCount(row) == 0 {
 			continue
 		}
 		edits, ok := r.Repair(row)
 		if !ok {
 			unrepairable++
+			r.metrics.unrepairable.Inc()
 			continue
 		}
 		repaired++
+		r.metrics.repaired.Inc()
 		for _, e := range edits {
 			rel.SetCode(i, e.Attr, e.To)
 		}

@@ -10,6 +10,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/ml"
+	"github.com/guardrail-db/guardrail/internal/obs"
 )
 
 // Value is a SQL value: a number, a string, or NULL.
@@ -63,6 +64,9 @@ type Env struct {
 	// bench); by default WHERE conjuncts that do not reference predictions
 	// are evaluated before any model call.
 	DisablePushdown bool
+	// Obs receives sql.* counters and the sql.guard / sql.inference stage
+	// timings; nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // Stats reports executor instrumentation (Table 6's breakdown).
@@ -263,6 +267,9 @@ func (ex *executor) run(q *Query) (*Result, error) {
 	rel := ex.rel
 	n := rel.NumRows()
 	ex.stats.RowsScanned = n
+	reg := ex.env.Obs
+	reg.Counter("sql.queries").Inc()
+	reg.Counter("sql.rows_scanned").Add(int64(n))
 
 	// Stage 0: guard interception — every incoming row is vetted before
 	// anything downstream sees it (Example 1.2). Work on copies so Coerce
@@ -279,6 +286,7 @@ func (ex *executor) run(q *Query) (*Result, error) {
 			}
 		}
 		ex.stats.GuardTime = time.Since(t0)
+		reg.Histogram("sql.guard").Observe(int64(ex.stats.GuardTime))
 	}
 
 	// Stage 1: predicate pushdown — evaluate prediction-free conjuncts
@@ -311,6 +319,7 @@ func (ex *executor) run(q *Query) (*Result, error) {
 		}
 	}
 	ex.stats.RowsFiltered = n - len(live)
+	reg.Counter("sql.rows_filtered").Add(int64(ex.stats.RowsFiltered))
 
 	// Stage 2: compute needed predictions for surviving rows.
 	labels := map[string]bool{}
@@ -324,9 +333,12 @@ func (ex *executor) run(q *Query) (*Result, error) {
 			col[i] = model.Predict(rows[i])
 			ex.stats.PredictCalls++
 		}
-		ex.stats.InferenceTime += time.Since(t0)
+		dt := time.Since(t0)
+		ex.stats.InferenceTime += dt
+		reg.Histogram("sql.inference").Observe(int64(dt))
 		ex.preds[label] = col
 	}
+	reg.Counter("sql.predict_calls").Add(int64(ex.stats.PredictCalls))
 
 	// Stage 3: residual WHERE.
 	var final []int

@@ -1,0 +1,44 @@
+package synth_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// TestObsCountersDeterministicAcrossWorkers: every counter the pipeline
+// records — CI tests, edges removed, aux samples, DAGs, pruned programs,
+// cache hits/misses — must be schedule-independent: identical at workers
+// 1, 4, and 8 on the same seed. Gauges are excluded (synth.workers
+// legitimately differs) and stage timings are wall-clock by design.
+func TestObsCountersDeterministicAcrossWorkers(t *testing.T) {
+	spec, err := bn.SpecByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) map[string]int64 {
+		rel, err := spec.Generate(0.05, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.New()
+		if _, err := synth.Synthesize(rel, synth.Options{Epsilon: 0.02, Seed: 11, Workers: workers, Obs: reg}); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot().Counters
+	}
+	serial := run(1)
+	for _, key := range []string{"pc.ci_tests", "aux.samples", "synth.dags", "synth.stmt_cache_misses"} {
+		if _, ok := serial[key]; !ok {
+			t.Errorf("counter %q missing from instrumented run: %v", key, serial)
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d counters differ from serial:\nserial: %v\ngot:    %v", workers, serial, got)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dsl"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/sketch"
@@ -47,6 +48,11 @@ type Options struct {
 	// (runtime.GOMAXPROCS); 1 forces the fully serial pipeline. The
 	// synthesized program is byte-identical at every worker count.
 	Workers int
+	// Obs receives pipeline counters (synth.*, pc.*, aux.*) and stage
+	// timings (synth.learn/enum/fill); nil disables instrumentation at
+	// zero cost. Counter content is schedule-independent: identical at
+	// every worker count on the same seed.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -103,6 +109,7 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("synth: need at least 2 rows, have %d", rel.NumRows())
 	}
 	res := &Result{}
+	opts.Obs.Gauge("synth.workers").Set(int64(opts.Workers))
 
 	// Stage 1: structure learning.
 	t0 := time.Now()
@@ -115,19 +122,21 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 			MaxSamples: opts.AuxMaxSamples,
 			Seed:       opts.Seed,
 			Workers:    opts.Workers,
+			Obs:        opts.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("synth: auxiliary sampling: %w", err)
 		}
 		data = aux
 	}
-	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond, Workers: opts.Workers})
+	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond, Workers: opts.Workers, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("synth: structure learning: %w", err)
 	}
 	res.CPDAG = learned.CPDAG
 	res.CITests = learned.Tests
 	res.LearnTime = time.Since(t0)
+	opts.Obs.Histogram("synth.learn").Observe(int64(res.LearnTime))
 
 	// Stage 2: MEC enumeration (Alg. 2 outer loop).
 	t1 := time.Now()
@@ -139,6 +148,8 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 	}
 	res.NumDAGs = len(dags)
 	res.EnumTime = time.Since(t1)
+	opts.Obs.Counter("synth.dags").Add(int64(res.NumDAGs))
+	opts.Obs.Histogram("synth.enum").Observe(int64(res.EnumTime))
 
 	// Stage 3: fill sketches and pick the maximum-coverage program.
 	t2 := time.Now()
@@ -151,6 +162,7 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 	res.PrunedPrograms = sel.PrunedPrograms
 	res.CacheHits, res.CacheMisses = sel.CacheHits, sel.CacheMisses
 	res.FillTime = time.Since(t2)
+	opts.Obs.Histogram("synth.fill").Observe(int64(res.FillTime))
 	return res, nil
 }
 
@@ -220,6 +232,12 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 	}
 	sel.Coverage = bestCov
 	sel.CacheHits, sel.CacheMisses = cache.Stats()
+	opts.Obs.Counter("synth.programs_pruned").Add(int64(sel.PrunedPrograms))
+	opts.Obs.Counter("synth.stmt_cache_hits").Add(int64(sel.CacheHits))
+	opts.Obs.Counter("synth.stmt_cache_misses").Add(int64(sel.CacheMisses))
+	lntHits, lntMisses := lnt.Stats()
+	opts.Obs.Counter("synth.lnt_cache_hits").Add(int64(lntHits))
+	opts.Obs.Counter("synth.lnt_cache_misses").Add(int64(lntMisses))
 	return sel, nil
 }
 
