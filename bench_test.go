@@ -317,6 +317,44 @@ func BenchmarkStatementCache(b *testing.B) {
 	})
 }
 
+// BenchmarkDedup measures the Alg. 2 inner loop with and without
+// equivalence-driven candidate dedup: canonicalization cost up front
+// against coverage scoring saved on semantically duplicate fills. The
+// selected program is identical either way (see the synth selection
+// tests).
+func BenchmarkDedup(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := auxdist.Sample(rel, auxdist.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	learned, err := pc.Learn(aux, pc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dags, err := graph.EnumerateMEC(learned.CPDAG, 256)
+	if err != nil && err != graph.ErrEnumLimit {
+		b.Fatal(err)
+	}
+	b.Run("with-dedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.SelectProgram(rel, dags, aux, synth.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-dedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.SelectProgram(rel, dags, aux, synth.Options{NoDedup: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPushdown measures the SQL executor with and without predicate
 // pushdown below the ML prediction step.
 func BenchmarkPushdown(b *testing.B) {

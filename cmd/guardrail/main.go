@@ -8,9 +8,17 @@
 //	guardrail show    -in data.csv
 //	guardrail analyze -in data.csv -prog constraints.gr
 //	guardrail lint    -in data.csv -prog constraints.gr
+//
+// The static-analysis verbs `lint` and `analyze` use documented exit
+// codes so CI lanes can distinguish outcomes: 0 means the program is
+// clean, 1 means the verb reported findings, 2 means the invocation
+// itself failed (bad flags, unreadable files, parse errors). Both accept
+// -json for machine-readable findings. Other verbs exit 1 on any error.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,19 +28,48 @@ import (
 	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/analysis"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 )
+
+// exitCode carries the documented process exit status for the
+// static-analysis verbs: 1 for findings, 2 for usage/IO failures. Errors
+// without one exit 1.
+type exitCode struct {
+	code int
+	err  error
+}
+
+func (e exitCode) Error() string { return e.err.Error() }
+func (e exitCode) Unwrap() error { return e.err }
+
+// findings wraps a findings summary with exit status 1.
+func findingsErr(format string, args ...any) error {
+	return exitCode{code: 1, err: fmt.Errorf(format, args...)}
+}
+
+// usageErr wraps a usage or I/O failure with exit status 2.
+func usageErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return exitCode{code: 2, err: err}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "guardrail:", err)
+		var ec exitCode
+		if errors.As(err, &ec) {
+			os.Exit(ec.code)
+		}
 		os.Exit(1)
 	}
 }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint> [flags]")
+		return usageErr(fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint> [flags]"))
 	}
 	switch args[0] {
 	case "gen":
@@ -50,8 +87,25 @@ func run(args []string) error {
 	case "lint":
 		return cmdLint(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return usageErr(fmt.Errorf("unknown subcommand %q", args[0]))
 	}
+}
+
+// jsonFinding is the shared machine-readable findings shape of `lint
+// -json` and `analyze -json`.
+type jsonFinding struct {
+	Class    string `json:"class"`
+	Severity string `json:"severity"`
+	Stmt     int    `json:"stmt"`
+	Branch   int    `json:"branch"`
+	Other    int    `json:"other"`
+	Message  string `json:"message"`
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func loadCSV(path string) (*dataset.Relation, error) {
@@ -148,27 +202,29 @@ func cmdSynth(args []string) error {
 }
 
 // cmdLint runs the semantic verifier over a constraint file — the offline
-// counterpart of the pruning gate inside the synthesizer. Findings print on
-// stdout; error-severity findings (or any finding under -strict) make the
-// command exit nonzero.
+// counterpart of the pruning gate inside the synthesizer. Findings print
+// on stdout (or as one JSON document under -json). Exit status: 0 clean,
+// 1 error-severity findings (any finding under -strict), 2 usage or I/O
+// failure.
 func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	in := fs.String("in", "", "CSV the program applies to (required)")
 	prog := fs.String("prog", "", "constraint file to lint (required)")
 	strict := fs.Bool("strict", false, "treat warnings as errors")
+	asJSON := fs.Bool("json", false, "emit findings as one JSON document")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	if *in == "" || *prog == "" {
-		return fmt.Errorf("lint: -in and -prog are required")
+		return usageErr(fmt.Errorf("lint: -in and -prog are required"))
 	}
 	rel, err := loadCSV(*in)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
 	src, err := os.ReadFile(*prog)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
 	// Snapshot dictionary sizes: Parse interns unseen literals, so growth
 	// means the program mentions values that never occur in the dataset —
@@ -179,29 +235,62 @@ func cmdLint(args []string) error {
 	}
 	program, err := dsl.Parse(string(src), rel)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
-	findings := verify.Program(program, rel)
-	errors, warnings := 0, 0
+	var all []jsonFinding
+	nErrors, nWarnings := 0, 0
 	for a := range before {
 		if grown := rel.Cardinality(a) - before[a]; grown > 0 {
-			fmt.Printf("%s: warning [domain-violation]: %d literal(s) of %s never occur in %s\n",
-				*prog, grown, rel.Attr(a), *in)
-			warnings++
+			all = append(all, jsonFinding{
+				Class: "domain-violation", Severity: "warning", Stmt: -1, Branch: -1, Other: -1,
+				Message: fmt.Sprintf("%d literal(s) of %s never occur in %s", grown, rel.Attr(a), *in),
+			})
+			nWarnings++
 		}
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: %s\n", *prog, f)
+	for _, f := range verify.Program(program, rel) {
+		all = append(all, jsonFinding{
+			Class: f.Class.String(), Severity: f.Severity.String(),
+			Stmt: f.Stmt, Branch: f.Branch, Other: f.Other, Message: f.Message,
+		})
 		if f.Severity == verify.Error {
-			errors++
+			nErrors++
 		} else {
-			warnings++
+			nWarnings++
 		}
 	}
-	if errors > 0 || (*strict && warnings > 0) {
-		return fmt.Errorf("lint: %d errors, %d warnings in %s", errors, warnings, *prog)
+	if *asJSON {
+		doc := struct {
+			File     string        `json:"file"`
+			Findings []jsonFinding `json:"findings"`
+			Errors   int           `json:"errors"`
+			Warnings int           `json:"warnings"`
+		}{*prog, all, nErrors, nWarnings}
+		if doc.Findings == nil {
+			doc.Findings = []jsonFinding{}
+		}
+		if err := printJSON(doc); err != nil {
+			return usageErr(err)
+		}
+	} else {
+		for _, f := range all {
+			if f.Stmt < 0 {
+				fmt.Printf("%s: %s [%s]: %s\n", *prog, f.Severity, f.Class, f.Message)
+				continue
+			}
+			loc := fmt.Sprintf("stmt %d", f.Stmt)
+			if f.Branch >= 0 {
+				loc += fmt.Sprintf(" branch %d", f.Branch)
+			}
+			fmt.Printf("%s: %s %s [%s]: %s\n", *prog, f.Severity, loc, f.Class, f.Message)
+		}
 	}
-	fmt.Printf("%s: %d statements verified clean (%d warnings)\n", *prog, len(program.Stmts), warnings)
+	if nErrors > 0 || (*strict && nWarnings > 0) {
+		return findingsErr("lint: %d errors, %d warnings in %s", nErrors, nWarnings, *prog)
+	}
+	if !*asJSON {
+		fmt.Printf("%s: %d statements verified clean (%d warnings)\n", *prog, len(program.Stmts), nWarnings)
+	}
 	return nil
 }
 
@@ -266,43 +355,98 @@ func cmdCheck(args []string, rectify bool) error {
 	return finish()
 }
 
+// cmdAnalyze runs the semantic analysis passes (internal/dsl/analysis)
+// over a constraint file: dead branches, exhaustive guards, statement
+// subsumption, cross-statement contradictions, the program's semantic
+// fingerprint, and what minimization could remove. Exit status: 0 clean,
+// 1 error-severity findings (any warning-or-worse finding under
+// -strict), 2 usage or I/O failure.
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	in := fs.String("in", "", "CSV the program was synthesized from (required)")
 	prog := fs.String("prog", "", "constraint file (required)")
+	strict := fs.Bool("strict", false, "treat warnings as errors")
+	asJSON := fs.Bool("json", false, "emit the report as one JSON document")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	if *in == "" || *prog == "" {
-		return fmt.Errorf("analyze: -in and -prog are required")
+		return usageErr(fmt.Errorf("analyze: -in and -prog are required"))
 	}
 	rel, err := loadCSV(*in)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
 	src, err := os.ReadFile(*prog)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
 	program, err := dsl.Parse(string(src), rel)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
-	simplified := dsl.Simplify(program)
-	st := dsl.Analyze(simplified)
-	fmt.Printf("statements: %d (after simplification: %d)\n", len(program.Stmts), len(simplified.Stmts))
-	fmt.Printf("branches:   %d\n", st.Branches)
-	fmt.Printf("coverage:   %.3f\n", dsl.Coverage(simplified, rel))
-	fmt.Printf("loss:       %d rows\n", dsl.Loss(simplified, rel))
-	fmt.Print("governed attributes:")
-	for _, a := range st.GovernedAttrs {
-		fmt.Printf(" %s", rel.Attr(a))
+	rpt := analysis.Program(program, rel)
+	st := dsl.Analyze(program)
+	nErrors, nWarnings := 0, 0
+	for _, f := range rpt.Findings {
+		switch f.Severity {
+		case analysis.Error:
+			nErrors++
+		case analysis.Warning:
+			nWarnings++
+		}
 	}
-	fmt.Print("\ndeterminant attributes:")
-	for _, a := range st.DeterminantAttrs {
-		fmt.Printf(" %s", rel.Attr(a))
+	if *asJSON {
+		doc := struct {
+			File            string        `json:"file"`
+			Findings        []jsonFinding `json:"findings"`
+			Errors          int           `json:"errors"`
+			Warnings        int           `json:"warnings"`
+			Statements      int           `json:"statements"`
+			Branches        int           `json:"branches"`
+			Coverage        float64       `json:"coverage"`
+			Fingerprint     string        `json:"fingerprint"`
+			SolverCalls     int64         `json:"solver_calls"`
+			BranchesRemoved int           `json:"branches_removable"`
+			StmtsRemoved    int           `json:"stmts_removable"`
+			MinimizeProved  bool          `json:"minimize_proved"`
+		}{
+			File: *prog, Findings: []jsonFinding{}, Errors: nErrors, Warnings: nWarnings,
+			Statements: len(program.Stmts), Branches: st.Branches,
+			Coverage:    dsl.Coverage(program, rel),
+			Fingerprint: fmt.Sprintf("%016x", rpt.Fingerprint), SolverCalls: rpt.SolverCalls,
+			BranchesRemoved: rpt.BranchesRemoved, StmtsRemoved: rpt.StmtsRemoved,
+			MinimizeProved: rpt.MinimizeProved,
+		}
+		for _, f := range rpt.Findings {
+			doc.Findings = append(doc.Findings, jsonFinding{
+				Class: f.Class.String(), Severity: f.Severity.String(),
+				Stmt: f.Stmt, Branch: f.Branch, Other: f.Other, Message: f.Message,
+			})
+		}
+		if err := printJSON(doc); err != nil {
+			return usageErr(err)
+		}
+	} else {
+		fmt.Printf("%s: %d statements, %d branches, coverage %.3f, fingerprint %016x\n",
+			*prog, len(program.Stmts), st.Branches, dsl.Coverage(program, rel), rpt.Fingerprint)
+		for _, f := range rpt.Findings {
+			fmt.Printf("%s: %s\n", *prog, f)
+		}
+		if rpt.BranchesRemoved > 0 || rpt.StmtsRemoved > 0 {
+			proof := "proved equivalent"
+			if !rpt.MinimizeProved {
+				proof = "NOT proved equivalent"
+			}
+			fmt.Printf("%s: minimization removes %d branch(es), %d statement(s) (%s)\n",
+				*prog, rpt.BranchesRemoved, rpt.StmtsRemoved, proof)
+		}
+		fmt.Printf("%s: %d findings (%d errors, %d warnings), %d solver calls\n",
+			*prog, len(rpt.Findings), nErrors, nWarnings, rpt.SolverCalls)
 	}
-	fmt.Println()
+	if nErrors > 0 || (*strict && nWarnings > 0) {
+		return findingsErr("analyze: %d errors, %d warnings in %s", nErrors, nWarnings, *prog)
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -116,7 +117,142 @@ func TestLintErrors(t *testing.T) {
 	}
 }
 
-// captureStdout redirects os.Stdout around f and returns what was printed.
+// codeOf extracts the documented exit status from an error: 0 for nil, the
+// wrapped code when present, 1 otherwise.
+func codeOf(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ec exitCode
+	if errors.As(err, &ec) {
+		return ec.code
+	}
+	return 1
+}
+
+// writeLintFixture writes a two-column CSV and a constraint file, returning
+// their paths.
+func writeLintFixture(t *testing.T, src string) (data, prog string) {
+	t.Helper()
+	dir := t.TempDir()
+	data = filepath.Join(dir, "data.csv")
+	prog = filepath.Join(dir, "prog.gr")
+	if err := os.WriteFile(data, []byte("a,b\n0,0\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data, prog
+}
+
+// TestExitCodes pins the documented statuses of the static-analysis verbs:
+// 0 clean, 1 findings, 2 usage/IO failure.
+func TestExitCodes(t *testing.T) {
+	clean := "GIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"0\";\n"
+	contradictory := "GIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"0\";\n  IF a = \"0\" THEN b <- \"1\";\n"
+	crossContradiction := "GIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"0\";\nGIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"1\";\n"
+
+	data, prog := writeLintFixture(t, clean)
+	captureStdout(t, func() {
+		for _, tc := range []struct {
+			name string
+			args []string
+			want int
+		}{
+			{"lint clean", []string{"lint", "-in", data, "-prog", prog}, 0},
+			{"analyze clean", []string{"analyze", "-in", data, "-prog", prog}, 0},
+			{"lint missing file", []string{"lint", "-in", data, "-prog", "/nonexistent"}, 2},
+			{"analyze missing file", []string{"analyze", "-in", data, "-prog", "/nonexistent"}, 2},
+			{"lint missing flags", []string{"lint"}, 2},
+			{"analyze missing flags", []string{"analyze"}, 2},
+			{"unknown verb", []string{"frobnicate"}, 2},
+		} {
+			if got := codeOf(run(tc.args)); got != tc.want {
+				t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+			}
+		}
+	})
+
+	dataBad, progBad := writeLintFixture(t, contradictory)
+	dataCross, progCross := writeLintFixture(t, crossContradiction)
+	captureStdout(t, func() {
+		if got := codeOf(run([]string{"lint", "-in", dataBad, "-prog", progBad})); got != 1 {
+			t.Errorf("lint with findings: exit code %d, want 1", got)
+		}
+		if got := codeOf(run([]string{"analyze", "-in", dataCross, "-prog", progCross})); got != 1 {
+			t.Errorf("analyze with error findings: exit code %d, want 1", got)
+		}
+		// A shadowed branch is only a warning for analyze: clean exit
+		// unless -strict.
+		if got := codeOf(run([]string{"analyze", "-in", dataBad, "-prog", progBad, "-strict"})); got != 1 {
+			t.Errorf("analyze -strict with warnings: exit code %d, want 1", got)
+		}
+	})
+}
+
+// TestLintJSON: -json emits one document with the findings and totals.
+func TestLintJSON(t *testing.T) {
+	data, prog := writeLintFixture(t,
+		"GIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"0\";\n  IF a = \"0\" THEN b <- \"1\";\n")
+	out := captureStdout(t, func() {
+		if codeOf(run([]string{"lint", "-in", data, "-prog", prog, "-json"})) != 1 {
+			t.Error("lint -json with findings should still exit 1")
+		}
+	})
+	var doc struct {
+		File     string `json:"file"`
+		Findings []struct {
+			Class    string `json:"class"`
+			Severity string `json:"severity"`
+			Stmt     int    `json:"stmt"`
+		} `json:"findings"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("lint -json output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Errors == 0 || len(doc.Findings) == 0 {
+		t.Fatalf("lint -json missed the contradiction: %+v", doc)
+	}
+	if doc.Findings[0].Class != "contradiction" || doc.Findings[0].Severity != "error" {
+		t.Errorf("unexpected first finding: %+v", doc.Findings[0])
+	}
+}
+
+// TestAnalyzeJSON: the analyze report carries findings, the semantic
+// fingerprint, and the minimization summary.
+func TestAnalyzeJSON(t *testing.T) {
+	data, prog := writeLintFixture(t,
+		"GIVEN a ON b HAVING\n  IF a = \"0\" THEN b <- \"0\";\n  IF a = \"0\" THEN b <- \"1\";\n")
+	out := captureStdout(t, func() {
+		if codeOf(run([]string{"analyze", "-in", data, "-prog", prog, "-json"})) != 0 {
+			t.Error("shadowed branch is warning-severity; analyze -json should exit 0")
+		}
+	})
+	var doc struct {
+		Findings []struct {
+			Class string `json:"class"`
+		} `json:"findings"`
+		Warnings        int    `json:"warnings"`
+		Fingerprint     string `json:"fingerprint"`
+		SolverCalls     int64  `json:"solver_calls"`
+		BranchesRemoved int    `json:"branches_removable"`
+		MinimizeProved  bool   `json:"minimize_proved"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("analyze -json output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Warnings == 0 || len(doc.Findings) == 0 || doc.Findings[0].Class != "dead-branch" {
+		t.Fatalf("analyze -json missed the dead branch: %+v", doc)
+	}
+	if len(doc.Fingerprint) != 16 || doc.SolverCalls == 0 {
+		t.Errorf("missing fingerprint/solver accounting: %+v", doc)
+	}
+	if doc.BranchesRemoved != 1 || !doc.MinimizeProved {
+		t.Errorf("minimization summary wrong: %+v", doc)
+	}
+}
 func captureStdout(t *testing.T, f func()) string {
 	t.Helper()
 	old := os.Stdout

@@ -31,16 +31,18 @@ func (c *checker) run() {
 		if !ok || fn.Body == nil {
 			continue
 		}
+		c.checkRegCopySignature(fn)
 		c.checkFunc(fn.Body)
 	}
 }
 
-// checkFunc applies all four checks within one function body.
+// checkFunc applies the statement-level checks within one function body.
 func (c *checker) checkFunc(body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
 			c.checkMapRange(n, body)
+			c.checkRegCopyRange(n)
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok {
 				c.checkIgnoredError(call)
@@ -183,6 +185,91 @@ func selIdent(sel *ast.SelectorExpr) *ast.Ident {
 // calleeName renders the called expression for the message.
 func calleeName(call *ast.CallExpr) string {
 	return types.ExprString(call.Fun)
+}
+
+// --- check: regcopy ---
+
+// checkRegCopySignature flags receivers, parameters, and results that move a
+// value holding sync state (a sync.Mutex, sync.WaitGroup, atomic.Int64, ...)
+// by value. Copying such a value forks its internal registers — the copy's
+// lock word or counter diverges from the original's, which silently breaks
+// mutual exclusion. go vet's copylocks covers assignments; this covers the
+// signature surface, where the copy is implied rather than written.
+func (c *checker) checkRegCopySignature(fn *ast.FuncDecl) {
+	flag := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if holder := syncStateName(t, nil); holder != "" {
+				c.report(field.Pos(), "regcopy",
+					"%s of %s is passed by value, copying the %s it holds; use a pointer",
+					kind, fn.Name.Name, holder)
+			}
+		}
+	}
+	flag(fn.Recv, "receiver")
+	flag(fn.Type.Params, "parameter")
+	flag(fn.Type.Results, "result")
+}
+
+// checkRegCopyRange flags `for _, v := range xs` when each iteration copies a
+// value holding sync state out of the collection.
+func (c *checker) checkRegCopyRange(rs *ast.RangeStmt) {
+	if rs.Value == nil || rs.Tok != token.DEFINE {
+		return
+	}
+	t := c.info.TypeOf(rs.Value)
+	if t == nil {
+		return
+	}
+	if holder := syncStateName(t, nil); holder != "" {
+		c.report(rs.Value.Pos(), "regcopy",
+			"range value copies the %s held by each element; iterate by index or store pointers", holder)
+	}
+}
+
+// syncStateName reports the first sync-state type reachable from t by value
+// ("" if none): a non-interface named type from sync or sync/atomic, found
+// directly, in a struct field, or in an array element. Pointers, slices,
+// maps, and channels share state rather than copy it, so they are not
+// descended into. The seen set guards against recursive types.
+func syncStateName(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		if obj := tt.Obj(); obj != nil && obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			if path == "sync" || path == "sync/atomic" {
+				// sync.Locker and friends are interfaces: copying an
+				// interface value copies a reference, not the state.
+				if _, isIface := tt.Underlying().(*types.Interface); !isIface {
+					return path + "." + obj.Name()
+				}
+				return ""
+			}
+		}
+		return syncStateName(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name := syncStateName(tt.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return syncStateName(tt.Elem(), seen)
+	}
+	return ""
 }
 
 // --- check: maprange ---

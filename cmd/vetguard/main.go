@@ -14,6 +14,9 @@
 //	            concurrency must route through the worker pool so it
 //	            inherits ordered collection, cancellation, and panic
 //	            propagation
+//	regcopy:    a receiver, parameter, result, or range value that moves
+//	            a type holding sync or sync/atomic state by value —
+//	            copying forks the lock word or counter register
 //
 // Usage:
 //

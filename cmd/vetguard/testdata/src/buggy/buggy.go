@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // MapRangeAppend leaks map iteration order into the returned slice.
@@ -70,4 +72,46 @@ func closeLater(done chan struct{}) { close(done) }
 // SuppressedGoroutine is exempted by annotation.
 func SuppressedGoroutine(done chan struct{}) {
 	go closeLater(done) //vetguard:ignore test harness plumbing
+}
+
+// guarded holds a mutex: every by-value move of it forks the lock word.
+type guarded struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// RegCopyParam receives the lock-holding struct by value.
+func RegCopyParam(g guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits
+}
+
+// RegCopyResult returns the lock-holding struct by value.
+func RegCopyResult() (g guarded) {
+	return g
+}
+
+// RegCopyReceiver is a value-receiver method on the lock-holding struct.
+func (g guarded) RegCopyReceiver() int {
+	return g.hits
+}
+
+// RegCopyRange copies each element's mutex on every iteration.
+func RegCopyRange(gs []guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += g.hits
+	}
+	return n
+}
+
+// RegCopyAtomic moves an atomic counter by value, forking its register.
+func RegCopyAtomic(c atomic.Int32) int32 {
+	return c.Load()
+}
+
+// SuppressedRegCopy is exempted by annotation.
+func SuppressedRegCopy(g guarded) int { //vetguard:ignore snapshot of an idle struct
+	return g.hits
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 )
 
 // SortedKeys is the canonical deterministic map iteration.
@@ -74,4 +75,50 @@ func DeferredClose(path string) error {
 	}
 	defer f.Close()
 	return nil
+}
+
+// counter holds a mutex; passing it around by pointer shares the lock.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// PointerParam shares the lock instead of copying it.
+func PointerParam(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// PointerReceiver is the canonical method shape for lock-holding types.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// LockerParam takes the sync.Locker interface: copying an interface value
+// copies a reference, not the mutex behind it.
+func LockerParam(l sync.Locker) {
+	l.Lock()
+	l.Unlock()
+}
+
+// SliceOfLocks passes a slice header by value — the mutexes themselves stay
+// shared — and iterates by index so no element is copied.
+func SliceOfLocks(ms []sync.Mutex) {
+	for i := range ms {
+		ms[i].Lock()
+		ms[i].Unlock()
+	}
+}
+
+// PointerElements ranges over pointers, so the value variable copies only a
+// pointer.
+func PointerElements(cs []*counter) int {
+	n := 0
+	for _, c := range cs {
+		n += c.n
+	}
+	return n
 }

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/smt/sat"
+)
+
+// cond builds a conjunction from (attr, value) pairs.
+func cond(kv ...int) dsl.Condition {
+	c := make(dsl.Condition, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		c = append(c, dsl.Pred{Attr: kv[i], Value: int32(kv[i+1])})
+	}
+	return c
+}
+
+// testRel: attributes a (cardinality 2), b (3), c (2).
+func testRel() *dataset.Relation {
+	rel := dataset.New("t", []string{"a", "b", "c"})
+	rel.AppendRow([]string{"a0", "b0", "c0"})
+	rel.AppendRow([]string{"a1", "b1", "c1"})
+	rel.AppendRow([]string{"a0", "b2", "c0"})
+	return rel
+}
+
+func find(fs []Finding, cl Class, stmt, branch int) *Finding {
+	for i := range fs {
+		if fs[i].Class == cl && fs[i].Stmt == stmt && fs[i].Branch == branch {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestDeadBranchUnsatAndShadow(t *testing.T) {
+	p := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0, 1}, On: 2,
+		Branches: []dsl.Branch{
+			{Cond: cond(0, 0), Value: 0},
+			{Cond: cond(0, 0, 1, 1), Value: 1}, // shadowed by branch 0
+			{Cond: cond(0, 5), Value: 0},       // literal outside dom(a)={a0,a1}
+		},
+	}}}
+	rpt := Program(p, testRel())
+	sh := find(rpt.Findings, DeadBranch, 0, 1)
+	if sh == nil || sh.Severity != Warning || sh.Other != 0 {
+		t.Errorf("shadowed branch finding = %+v, want warning with Other=0", sh)
+	}
+	un := find(rpt.Findings, DeadBranch, 0, 2)
+	if un == nil || un.Severity != Error {
+		t.Errorf("unsatisfiable branch finding = %+v, want error", un)
+	}
+}
+
+// TestUnionShadowing: the DNF-level verdict verify's pairwise check cannot
+// reach — a guard dead only because the union of earlier guards is
+// exhaustive.
+func TestUnionShadowing(t *testing.T) {
+	p := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0, 1}, On: 2,
+		Branches: []dsl.Branch{
+			{Cond: cond(1, 0), Value: 0},
+			{Cond: cond(1, 1), Value: 0},
+			{Cond: cond(1, 2), Value: 0},
+			{Cond: cond(1, -1), Value: 0}, // b is missing
+			{Cond: cond(0, 0), Value: 1},  // covered by the union over dom(b)
+		},
+	}}}
+	rpt := Program(p, testRel())
+	f := find(rpt.Findings, DeadBranch, 0, 4)
+	if f == nil || f.Severity != Warning || f.Other != -1 {
+		t.Fatalf("union-shadowed branch finding = %+v, want warning with Other=-1", f)
+	}
+	if find(rpt.Findings, ExhaustiveGuards, 0, -1) == nil {
+		t.Error("expected an exhaustive-guards info finding")
+	}
+	// No single earlier branch implies the dead one.
+	for _, other := range rpt.Findings {
+		if other.Class == DeadBranch && other.Branch != 4 {
+			t.Errorf("unexpected dead-branch finding: %v", other)
+		}
+	}
+}
+
+func TestStatementContradiction(t *testing.T) {
+	p := &dsl.Program{Stmts: []dsl.Statement{
+		{Given: []int{0}, On: 2, Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 0}}},
+		{Given: []int{0}, On: 2, Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 1}}},
+	}}
+	rpt := Program(p, testRel())
+	f := find(rpt.Findings, StatementContradiction, 1, 0)
+	if f == nil || f.Severity != Error || f.Other != 0 {
+		t.Fatalf("contradiction finding = %+v, want error on stmt 1 with Other=0", f)
+	}
+	if !HasErrors(rpt.Findings) {
+		t.Error("HasErrors should be true")
+	}
+	for _, g := range rpt.Findings {
+		if g.Class == SubsumedStatement {
+			t.Errorf("contradictory statements must not also report subsumption: %v", g)
+		}
+	}
+}
+
+func TestSubsumedStatement(t *testing.T) {
+	p := &dsl.Program{Stmts: []dsl.Statement{
+		{Given: []int{0}, On: 2, Branches: []dsl.Branch{
+			{Cond: cond(0, 0), Value: 0},
+			{Cond: cond(0, 1), Value: 1},
+		}},
+		{Given: []int{0, 1}, On: 2, Branches: []dsl.Branch{
+			{Cond: cond(0, 0, 1, 0), Value: 0},
+		}},
+	}}
+	rpt := Program(p, testRel())
+	f := find(rpt.Findings, SubsumedStatement, 1, -1)
+	if f == nil || f.Severity != Warning || f.Other != 0 {
+		t.Fatalf("subsumption finding = %+v, want warning on stmt 1 with Other=0", f)
+	}
+	if g := find(rpt.Findings, SubsumedStatement, 0, -1); g != nil {
+		t.Errorf("the wider statement must not be reported as contained: %v", g)
+	}
+}
+
+func TestEquivalentStatementsReportedOnce(t *testing.T) {
+	st := dsl.Statement{Given: []int{0}, On: 2, Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 0}}}
+	p := &dsl.Program{Stmts: []dsl.Statement{st, st}}
+	rpt := Program(p, testRel())
+	f := find(rpt.Findings, SubsumedStatement, 1, -1)
+	if f == nil || f.Other != 0 {
+		t.Fatalf("duplicate statement finding = %+v, want one on stmt 1", f)
+	}
+	if g := find(rpt.Findings, SubsumedStatement, 0, -1); g != nil {
+		t.Errorf("duplicate pair reported twice: %v", g)
+	}
+}
+
+func TestCanonDedupsEquivalentPrograms(t *testing.T) {
+	dom := sat.DomainsOf(testRel())
+	p1 := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0}, On: 2,
+		Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 0}, {Cond: cond(0, 1), Value: 1}},
+	}}}
+	// Same semantics: different GIVEN set, an extra shadowed branch.
+	p2 := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0, 1}, On: 2,
+		Branches: []dsl.Branch{
+			{Cond: cond(0, 0), Value: 0},
+			{Cond: cond(0, 1), Value: 1},
+			{Cond: cond(0, 0, 1, 2), Value: 1}, // dead: shadowed by branch 0
+		},
+	}}}
+	c1, calls := Canon(p1, dom)
+	c2, _ := Canon(p2, dom)
+	if c1 != c2 {
+		t.Errorf("canonical forms differ:\n%s\n%s", c1, c2)
+	}
+	if Fingerprint(c1) != Fingerprint(c2) {
+		t.Error("fingerprints differ for equal canonical forms")
+	}
+	if calls == 0 {
+		t.Error("Canon should spend solver calls")
+	}
+	// A different assigned value must change the canonical form.
+	p3 := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0}, On: 2,
+		Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 1}, {Cond: cond(0, 1), Value: 1}},
+	}}}
+	if c3, _ := Canon(p3, dom); c3 == c1 {
+		t.Error("programs with different values share a canonical form")
+	}
+	// Atom order within a guard must not matter.
+	p4 := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0, 1}, On: 2,
+		Branches: []dsl.Branch{{Cond: cond(1, 2, 0, 0), Value: 0}},
+	}}}
+	p5 := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0, 1}, On: 2,
+		Branches: []dsl.Branch{{Cond: cond(0, 0, 1, 2), Value: 0}},
+	}}}
+	c4, _ := Canon(p4, dom)
+	c5, _ := Canon(p5, dom)
+	if c4 != c5 {
+		t.Errorf("atom order changed the canonical form:\n%s\n%s", c4, c5)
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	rel := testRel()
+	p := &dsl.Program{Stmts: []dsl.Statement{
+		{Given: []int{0, 1}, On: 2, Branches: []dsl.Branch{
+			{Cond: cond(0, 0), Value: 0},
+			{Cond: cond(0, 0, 1, 1), Value: 1}, // shadowed
+		}},
+		{Given: []int{0}, On: 2, Branches: []dsl.Branch{
+			{Cond: cond(0, 0, 0, 1), Value: 0}, // conflicting atoms: dead in any universe
+		}},
+	}}
+	rpt := Program(p, rel)
+	if rpt.Minimized == nil || len(rpt.Minimized.Stmts) != 1 {
+		t.Fatalf("minimized = %+v, want the dead statement dropped", rpt.Minimized)
+	}
+	if n := len(rpt.Minimized.Stmts[0].Branches); n != 1 {
+		t.Errorf("minimized statement has %d branches, want 1", n)
+	}
+	if !rpt.MinimizeProved {
+		t.Error("minimization should be proved equivalent")
+	}
+	if rpt.BranchesRemoved != 2 || rpt.StmtsRemoved != 1 {
+		t.Errorf("removed = (%d branches, %d stmts), want (2, 1)", rpt.BranchesRemoved, rpt.StmtsRemoved)
+	}
+	if len(p.Stmts) != 2 || len(p.Stmts[0].Branches) != 2 {
+		t.Error("Minimize mutated its input")
+	}
+	if !dsl.Equivalent(p, rpt.Minimized, rel) {
+		t.Error("minimized program behaves differently on the relation")
+	}
+}
+
+// TestMinimizeConservativeOnWideLiterals: a guard using a literal outside
+// the dictionary is dead over the dataset, but the minimizer judges
+// liveness over the widened universe (the program could only ever see
+// such a row if it wrote the value itself) and must keep it.
+func TestMinimizeConservativeOnWideLiterals(t *testing.T) {
+	dom := sat.Domains{2}
+	p := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0}, On: 1,
+		Branches: []dsl.Branch{{Cond: cond(0, 7), Value: 0}},
+	}}}
+	min, proved, _ := Minimize(p, dom)
+	if !proved || len(min.Stmts) != 1 || len(min.Stmts[0].Branches) != 1 {
+		t.Errorf("minimizer dropped a branch that is live over the widened universe: %+v", min)
+	}
+}
+
+func TestWiden(t *testing.T) {
+	dom := sat.Domains{2, 3, 0} // attr 2 unbounded
+	p := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0}, On: 3,
+		Branches: []dsl.Branch{{Cond: cond(0, 5, 2, 9, 1, -1), Value: 4}},
+	}}}
+	w := widen(dom, p)
+	if w.Card(0) != 6 {
+		t.Errorf("Card(0) = %d, want 6 (literal 5 mentioned)", w.Card(0))
+	}
+	if w.Card(1) != 3 {
+		t.Errorf("Card(1) = %d, want 3 (Missing literal never widens)", w.Card(1))
+	}
+	if w.Card(2) != 0 {
+		t.Errorf("Card(2) = %d, want 0 (unbounded stays unbounded)", w.Card(2))
+	}
+	if w.Card(3) != 0 {
+		t.Errorf("Card(3) = %d, want 0 (attributes outside the schema stay unbounded)", w.Card(3))
+	}
+}
+
+func TestReportFingerprintMatchesCanon(t *testing.T) {
+	p := &dsl.Program{Stmts: []dsl.Statement{{
+		Given: []int{0}, On: 2,
+		Branches: []dsl.Branch{{Cond: cond(0, 0), Value: 0}},
+	}}}
+	rpt := Program(p, testRel())
+	if rpt.Fingerprint != Fingerprint(rpt.Canon) {
+		t.Error("report fingerprint does not hash its own canonical form")
+	}
+	if rpt.SolverCalls == 0 {
+		t.Error("report should account solver calls")
+	}
+	if Program(nil, nil).Fingerprint != 0 {
+		t.Error("nil program should have the empty fingerprint")
+	}
+}

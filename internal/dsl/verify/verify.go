@@ -9,12 +9,16 @@
 // verifier rejects before coverage scoring, and `guardrail lint` exposes
 // the same checks on constraint files.
 //
-// Decision procedures come from the equality-atom satisfiability core in
-// internal/smt/sat; messages are rendered through internal/dsl/text.go so
-// findings read in the paper's surface syntax.
+// Decision procedures come from the finite-domain solver in
+// internal/smt/sat, run here without domain bounds (the verifier's
+// contract predates dictionary-aware reasoning; internal/dsl/analysis
+// layers the domain- and disjunction-aware passes on top); messages are
+// rendered through internal/dsl/text.go so findings read in the paper's
+// surface syntax.
 package verify
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,6 +46,9 @@ func (s Severity) String() string {
 	}
 	return "warning"
 }
+
+// MarshalJSON renders the severity as its string name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
 // Class identifies the diagnostic.
 type Class int
@@ -89,20 +96,23 @@ func (c Class) String() string {
 	return fmt.Sprintf("Class(%d)", int(c))
 }
 
+// MarshalJSON renders the class as its string name.
+func (c Class) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
 // Finding is one diagnostic with its location inside the program.
 type Finding struct {
-	Class    Class
-	Severity Severity
+	Class    Class    `json:"class"`
+	Severity Severity `json:"severity"`
 	// Stmt is the statement index within the program.
-	Stmt int
+	Stmt int `json:"stmt"`
 	// Branch is the branch index within the statement, or -1 for
 	// statement-level findings.
-	Branch int
+	Branch int `json:"branch"`
 	// Other is the index of the related branch (Contradiction/Unreachable)
 	// or statement (Cycle), or -1.
-	Other int
+	Other int `json:"other"`
 	// Message is the human-readable diagnosis in the surface syntax.
-	Message string
+	Message string `json:"message"`
 }
 
 // String renders the finding as "severity stmt 2 branch 1 [class]: message".
@@ -134,8 +144,12 @@ func Program(p *dsl.Program, rel *dataset.Relation) []Finding {
 	if p == nil {
 		return nil
 	}
+	// The verifier reasons over the unbounded missing-aware universe: a
+	// nil-domain solver reduces the finite-domain procedure to exact atom
+	// algebra, preserving the historical conjunction-only verdicts.
+	slv := sat.NewSolver(nil)
 	for si := range p.Stmts {
-		out = append(out, checkStatement(p, si, rel)...)
+		out = append(out, checkStatement(slv, p, si, rel)...)
 	}
 	out = append(out, checkCycles(p, rel)...)
 	sort.SliceStable(out, func(i, j int) bool {
@@ -151,7 +165,7 @@ func Program(p *dsl.Program, rel *dataset.Relation) []Finding {
 	return out
 }
 
-func checkStatement(p *dsl.Program, si int, rel *dataset.Relation) []Finding {
+func checkStatement(slv *sat.Solver, p *dsl.Program, si int, rel *dataset.Relation) []Finding {
 	s := &p.Stmts[si]
 	var out []Finding
 
@@ -203,7 +217,7 @@ func checkStatement(p *dsl.Program, si int, rel *dataset.Relation) []Finding {
 		out = append(out, checkDomain(s, si, bi, rel)...)
 
 		// Unsatisfiable condition: same attribute bound to two literals.
-		if !sat.Satisfiable(b.Cond) {
+		if !slv.SatisfiableCond(b.Cond) {
 			dead[bi] = true
 			out = append(out, Finding{
 				Class: Unreachable, Severity: Error, Stmt: si, Branch: bi, Other: -1,
@@ -219,7 +233,7 @@ func checkStatement(p *dsl.Program, si int, rel *dataset.Relation) []Finding {
 			if dead[ei] {
 				continue
 			}
-			if !sat.Implies(b.Cond, s.Branches[ei].Cond) {
+			if !slv.ImpliesCond(b.Cond, s.Branches[ei].Cond) {
 				continue
 			}
 			dead[bi] = true

@@ -1,0 +1,258 @@
+package sat
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// The differential oracle: every solver verdict must agree with brute-force
+// row enumeration over the full universe. The grid covers 3 attributes with
+// domain sizes <= 3, atom literals both inside and outside the dictionary
+// (including the Missing sentinel), and both universes (missing-aware and
+// values-only). This is the exactness contract the analysis passes build
+// on.
+
+// oracleDomains is the grid's schema: cardinalities 2, 3, 2.
+var oracleDomains = Domains{2, 3, 2}
+
+// enumerateRows lists every universe row for dom.
+func enumerateRows(dom Domains, missing bool) [][]int32 {
+	rows := [][]int32{{}}
+	for a := 0; a < len(dom); a++ {
+		var values []int32
+		if missing {
+			values = append(values, dataset.Missing)
+		}
+		for v := int32(0); int(v) < dom.Card(a); v++ {
+			values = append(values, v)
+		}
+		var next [][]int32
+		for _, r := range rows {
+			for _, v := range values {
+				nr := append(append([]int32(nil), r...), v)
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	return rows
+}
+
+// gridConditions enumerates the empty condition, all single atoms, and all
+// ordered atom pairs, with literals drawn from {-1, 0, 1, 2, 3} so
+// out-of-domain codes and the Missing sentinel are both exercised.
+func gridConditions() []dsl.Condition {
+	values := []int32{dataset.Missing, 0, 1, 2, 3}
+	var atoms []dsl.Pred
+	for a := 0; a < len(oracleDomains); a++ {
+		for _, v := range values {
+			atoms = append(atoms, dsl.Pred{Attr: a, Value: v})
+		}
+	}
+	conds := []dsl.Condition{nil}
+	for _, p := range atoms {
+		conds = append(conds, dsl.Condition{p})
+	}
+	for _, p := range atoms {
+		for _, q := range atoms {
+			conds = append(conds, dsl.Condition{p, q})
+		}
+	}
+	return conds
+}
+
+func oracleMatches(c dsl.Condition, row []int32) bool { return c.Matches(row) }
+
+func oracleSatisfiable(c dsl.Condition, rows [][]int32) bool {
+	for _, r := range rows {
+		if oracleMatches(c, r) {
+			return true
+		}
+	}
+	return false
+}
+
+func oracleImplies(a, b dsl.Condition, rows [][]int32) bool {
+	for _, r := range rows {
+		if oracleMatches(a, r) && !oracleMatches(b, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func oracleSatMinus(pos dsl.Condition, minus []DNF, rows [][]int32) bool {
+	for _, r := range rows {
+		if !oracleMatches(pos, r) {
+			continue
+		}
+		hit := false
+		for _, m := range minus {
+			if m.Matches(r) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return true
+		}
+	}
+	return false
+}
+
+func oracleImpliesDNF(a, b DNF, rows [][]int32) bool {
+	for _, r := range rows {
+		if a.Matches(r) && !b.Matches(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// universes under test: the missing-aware row universe and the values-only
+// one.
+func oracleUniverses() []struct {
+	name    string
+	solver  func() *Solver
+	missing bool
+} {
+	return []struct {
+		name    string
+		solver  func() *Solver
+		missing bool
+	}{
+		{"missing-aware", func() *Solver { return NewSolver(oracleDomains) }, true},
+		{"values-only", func() *Solver { return NewValueSolver(oracleDomains) }, false},
+	}
+}
+
+// TestOracleConditions checks Satisfiable/Implies/Equivalent for every
+// condition pair on the grid against brute force.
+func TestOracleConditions(t *testing.T) {
+	conds := gridConditions()
+	for _, u := range oracleUniverses() {
+		t.Run(u.name, func(t *testing.T) {
+			rows := enumerateRows(oracleDomains, u.missing)
+			s := u.solver()
+			for _, c := range conds {
+				if got, want := s.SatisfiableCond(c), oracleSatisfiable(c, rows); got != want {
+					t.Fatalf("SatisfiableCond(%v) = %v, oracle %v", c, got, want)
+				}
+			}
+			for i, a := range conds {
+				for j, b := range conds {
+					got := s.ImpliesCond(a, b)
+					want := oracleImplies(a, b, rows)
+					if got != want {
+						t.Fatalf("ImpliesCond(%v, %v) = %v, oracle %v (pair %d,%d)", a, b, got, want, i, j)
+					}
+					if ge, we := s.EquivalentCond(a, b), want && oracleImplies(b, a, rows); ge != we {
+						t.Fatalf("EquivalentCond(%v, %v) = %v, oracle %v", a, b, ge, we)
+					}
+					if go2, wo := s.OverlapCond(a, b), oracleSatMinus(append(append(dsl.Condition{}, a...), b...), nil, rows); go2 != wo {
+						t.Fatalf("OverlapCond(%v, %v) = %v, oracle %v", a, b, go2, wo)
+					}
+				}
+			}
+		})
+	}
+}
+
+// gridDNFs builds two-disjunct DNFs from single-atom guards — the shape
+// statement branch guards take.
+func gridDNFs() []DNF {
+	values := []int32{dataset.Missing, 0, 1, 2, 3}
+	var guards []dsl.Condition
+	for a := 0; a < len(oracleDomains); a++ {
+		for _, v := range values {
+			guards = append(guards, dsl.Condition{{Attr: a, Value: v}})
+		}
+	}
+	guards = append(guards, dsl.Condition{}) // TRUE guard
+	dnfs := []DNF{nil}                       // FALSE
+	for _, g := range guards {
+		dnfs = append(dnfs, DNF{g})
+	}
+	for i, g := range guards {
+		for _, h := range guards[i+1:] {
+			dnfs = append(dnfs, DNF{g, h})
+		}
+	}
+	return dnfs
+}
+
+// TestOracleDNF checks the DNF-level decisions — satisfiability,
+// implication, equivalence, exhaustiveness — against brute force.
+func TestOracleDNF(t *testing.T) {
+	dnfs := gridDNFs()
+	for _, u := range oracleUniverses() {
+		t.Run(u.name, func(t *testing.T) {
+			rows := enumerateRows(oracleDomains, u.missing)
+			s := u.solver()
+			for _, d := range dnfs {
+				gotSat := s.Satisfiable(d)
+				wantSat := false
+				for _, r := range rows {
+					if d.Matches(r) {
+						wantSat = true
+						break
+					}
+				}
+				if gotSat != wantSat {
+					t.Fatalf("Satisfiable(%v) = %v, oracle %v", d, gotSat, wantSat)
+				}
+				if ge, we := s.Exhaustive(d), oracleImpliesDNF(True(), d, rows); ge != we {
+					t.Fatalf("Exhaustive(%v) = %v, oracle %v", d, ge, we)
+				}
+			}
+			for _, a := range dnfs {
+				for _, b := range dnfs {
+					if got, want := s.Implies(a, b), oracleImpliesDNF(a, b, rows); got != want {
+						t.Fatalf("Implies(%v, %v) = %v, oracle %v", a, b, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleSatMinus checks the core region query — a conjunction minus up
+// to two DNFs — against brute force on a thinned grid (single-atom and
+// two-atom conjunctions against two-disjunct unions).
+func TestOracleSatMinus(t *testing.T) {
+	conds := gridConditions()
+	dnfs := gridDNFs()
+	// Thin both sides to keep the product tractable while covering every
+	// attribute/value/shape combination.
+	var pos []dsl.Condition
+	for i, c := range conds {
+		if i%3 == 0 {
+			pos = append(pos, c)
+		}
+	}
+	var subs []DNF
+	for i, d := range dnfs {
+		if i%5 == 0 {
+			subs = append(subs, d)
+		}
+	}
+	for _, u := range oracleUniverses() {
+		t.Run(u.name, func(t *testing.T) {
+			rows := enumerateRows(oracleDomains, u.missing)
+			s := u.solver()
+			for _, p := range pos {
+				for _, m1 := range subs {
+					for _, m2 := range subs {
+						got := s.SatMinus(p, m1, m2)
+						want := oracleSatMinus(p, []DNF{m1, m2}, rows)
+						if got != want {
+							t.Fatalf("SatMinus(%v, %v, %v) = %v, oracle %v", p, m1, m2, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

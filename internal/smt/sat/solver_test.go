@@ -1,0 +1,153 @@
+package sat
+
+import (
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+func dnf(conds ...dsl.Condition) DNF { return DNF(conds) }
+
+func TestSolverDomainAwareSatisfiability(t *testing.T) {
+	s := NewSolver(Domains{2, 3})
+	cases := []struct {
+		name string
+		c    dsl.Condition
+		want bool
+	}{
+		{"in domain", cond(0, 1), true},
+		{"literal outside domain", cond(0, 2), false},
+		{"second attr wide enough", cond(1, 2), true},
+		{"unknown attr unbounded", cond(9, 100), true},
+		{"conflicting atoms", cond(0, 0, 0, 1), false},
+		{"negative literal", dsl.Condition{{Attr: 0, Value: -7}}, false},
+		{"missing literal allowed", dsl.Condition{{Attr: 0, Value: dataset.Missing}}, true},
+	}
+	for _, tc := range cases {
+		if got := s.SatisfiableCond(tc.c); got != tc.want {
+			t.Errorf("%s: SatisfiableCond = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	vs := NewValueSolver(Domains{2})
+	if vs.SatisfiableCond(dsl.Condition{{Attr: 0, Value: dataset.Missing}}) {
+		t.Error("values-only universe accepted a Missing literal")
+	}
+}
+
+// TestSolverUnionShadowing: the DNF power the conjunction API lacks — a
+// guard covered only by the union of earlier guards.
+func TestSolverUnionShadowing(t *testing.T) {
+	s := NewValueSolver(Domains{2, 2})
+	// Guards a=0 and a=1 jointly cover TRUE over dom(a)={0,1}; neither does
+	// alone.
+	union := dnf(cond(0, 0), cond(0, 1))
+	if !s.Implies(True(), union) {
+		t.Error("a=0 ∨ a=1 should be exhaustive over a two-value domain")
+	}
+	if s.Implies(True(), dnf(cond(0, 0))) {
+		t.Error("a=0 alone is not exhaustive")
+	}
+	// The later guard b=1 is shadowed by the union though implied by
+	// neither disjunct individually.
+	if !s.Implies(dnf(cond(1, 1)), union) {
+		t.Error("b=1 should be covered by the exhaustive union")
+	}
+	// With the Missing sentinel in the universe the union is no longer
+	// exhaustive: a row with a=NaN matches neither guard.
+	ms := NewSolver(Domains{2, 2})
+	if ms.Exhaustive(union) {
+		t.Error("missing-aware universe: a=0 ∨ a=1 must not be exhaustive")
+	}
+}
+
+func TestSolverSatMinusRegions(t *testing.T) {
+	s := NewValueSolver(Domains{2, 2})
+	// Region of guard (a=0 ∧ b=0) minus earlier guard (a=0): empty.
+	if s.SatMinus(cond(0, 0, 1, 0), dnf(cond(0, 0))) {
+		t.Error("a=0∧b=0 minus a=0 should be empty")
+	}
+	// Region of guard (b=0) minus earlier guard (a=0): row a=1,b=0 remains.
+	if !s.SatMinus(cond(1, 0), dnf(cond(0, 0))) {
+		t.Error("b=0 minus a=0 should keep the a=1 row")
+	}
+	// Subtracting an exhaustive union empties everything.
+	if s.SatMinus(nil, dnf(cond(0, 0), cond(0, 1))) {
+		t.Error("TRUE minus an exhaustive union should be empty")
+	}
+	// Subtracting TRUE empties everything.
+	if s.SatMinus(cond(0, 0), True()) {
+		t.Error("anything minus TRUE should be empty")
+	}
+	// Subtracting FALSE (empty DNF) removes nothing.
+	if !s.SatMinus(cond(0, 0), DNF{}) {
+		t.Error("subtracting the empty DNF should keep the region")
+	}
+}
+
+func TestSolverEquivalentDNF(t *testing.T) {
+	s := NewValueSolver(Domains{2, 2})
+	// Over dom(b)={0,1}: a=0 ≡ (a=0∧b=0) ∨ (a=0∧b=1).
+	split := dnf(cond(0, 0, 1, 0), cond(0, 0, 1, 1))
+	if !s.Equivalent(dnf(cond(0, 0)), split) {
+		t.Error("case split over b should be equivalent to a=0")
+	}
+	// Not equivalent once one case is dropped.
+	if s.Equivalent(dnf(cond(0, 0)), dnf(cond(0, 0, 1, 0))) {
+		t.Error("half the case split is not equivalent")
+	}
+	// Unbounded b: the case split no longer covers a=0.
+	u := NewValueSolver(Domains{2})
+	if u.Equivalent(dnf(cond(0, 0)), split) {
+		t.Error("case split cannot cover an unbounded attribute")
+	}
+}
+
+func TestSolverCallsCount(t *testing.T) {
+	s := NewSolver(nil)
+	if s.Calls() != 0 {
+		t.Fatalf("fresh solver has %d calls", s.Calls())
+	}
+	s.SatisfiableCond(cond(0, 1))
+	s.Implies(dnf(cond(0, 1), cond(0, 2)), dnf(cond(0, 1)))
+	if s.Calls() < 2 {
+		t.Errorf("Calls = %d, want >= 2", s.Calls())
+	}
+	var nilSolver *Solver
+	if nilSolver.Calls() != 0 {
+		t.Error("nil solver Calls should be 0")
+	}
+}
+
+func TestDomainsOf(t *testing.T) {
+	rel := dataset.New("t", []string{"a", "b"})
+	rel.AppendRow([]string{"x", "p"})
+	rel.AppendRow([]string{"y", "p"})
+	d := DomainsOf(rel)
+	if d.Card(0) != 2 || d.Card(1) != 1 {
+		t.Errorf("DomainsOf = %v", d)
+	}
+	if d.Card(7) != 0 || d.Card(-1) != 0 {
+		t.Error("out-of-range attrs must be unbounded")
+	}
+	if DomainsOf(nil) != nil {
+		t.Error("nil relation should give nil domains")
+	}
+}
+
+// TestSolverBacktracking forces the search past pure unit propagation:
+// clauses with two undetermined literals each, satisfiable only by a
+// specific joint assignment.
+func TestSolverBacktracking(t *testing.T) {
+	s := NewValueSolver(Domains{2, 2, 2})
+	// ¬(a=0∧b=0) ∧ ¬(a=1∧b=1) ∧ ¬(b=0∧c=0) ∧ ¬(b=1∧c=1) is satisfiable
+	// (e.g. a=0,b=1,c=0).
+	if !s.SatMinus(nil, dnf(cond(0, 0, 1, 0)), dnf(cond(0, 1, 1, 1)), dnf(cond(1, 0, 2, 0)), dnf(cond(1, 1, 2, 1))) {
+		t.Error("expected satisfiable after backtracking")
+	}
+	// Add the two remaining mixed pairs on (a,b) and it becomes unsat:
+	// every (a,b) combination is excluded.
+	if s.SatMinus(nil, dnf(cond(0, 0, 1, 0)), dnf(cond(0, 1, 1, 1)), dnf(cond(0, 0, 1, 1)), dnf(cond(0, 1, 1, 0))) {
+		t.Error("all four (a,b) cells excluded: expected unsat")
+	}
+}

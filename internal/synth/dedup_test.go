@@ -1,0 +1,79 @@
+package synth_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// TestDedupPreservesSelection: equivalence-driven dedup must skip work,
+// never change the answer — the program selected with dedup on is
+// byte-identical to the ablation baseline, on a config where dedup
+// actually fires.
+func TestDedupPreservesSelection(t *testing.T) {
+	spec, err := bn.SpecByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noDedup bool) *synth.Result {
+		rel, err := spec.Generate(0.1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Synthesize(rel, synth.Options{Epsilon: 0.02, Seed: 7, Workers: 4, NoDedup: noDedup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with, without := run(false), run(true)
+	if with.DedupedPrograms == 0 {
+		t.Fatal("expected dedup to fire on this config (it did at authoring time)")
+	}
+	if without.DedupedPrograms != 0 || without.SolverCalls != 0 {
+		t.Errorf("ablation baseline must not dedup: deduped=%d calls=%d",
+			without.DedupedPrograms, without.SolverCalls)
+	}
+	if with.SolverCalls == 0 {
+		t.Error("dedup should account its solver calls")
+	}
+	if !reflect.DeepEqual(with.Program, without.Program) {
+		t.Errorf("dedup changed the selected program:\nwith:    %+v\nwithout: %+v", with.Program, without.Program)
+	}
+	if with.Coverage != without.Coverage {
+		t.Errorf("dedup changed coverage: %v vs %v", with.Coverage, without.Coverage)
+	}
+}
+
+// TestDedupCountersScheduleIndependent pins the new counters at workers
+// 1, 4, and 8 on the CI benchmark config.
+func TestDedupCountersScheduleIndependent(t *testing.T) {
+	spec, err := bn.SpecByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (int64, int64) {
+		rel, err := spec.Generate(0.1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.New()
+		if _, err := synth.Synthesize(rel, synth.Options{Epsilon: 0.02, Seed: 7, Workers: workers, Obs: reg}); err != nil {
+			t.Fatal(err)
+		}
+		c := reg.Snapshot().Counters
+		return c["synth.programs_deduped"], c["analysis.solver_calls"]
+	}
+	d1, s1 := run(1)
+	if d1 == 0 || s1 == 0 {
+		t.Fatalf("expected non-zero dedup counters, got deduped=%d solver_calls=%d", d1, s1)
+	}
+	for _, w := range []int{4, 8} {
+		if d, s := run(w); d != d1 || s != s1 {
+			t.Errorf("workers=%d: counters (%d, %d) differ from serial (%d, %d)", w, d, s, d1, s1)
+		}
+	}
+}

@@ -31,7 +31,7 @@ func TestObsCountersDeterministicAcrossWorkers(t *testing.T) {
 		return reg.Snapshot().Counters
 	}
 	serial := run(1)
-	for _, key := range []string{"pc.ci_tests", "aux.samples", "synth.dags", "synth.stmt_cache_misses"} {
+	for _, key := range []string{"pc.ci_tests", "aux.samples", "synth.dags", "synth.stmt_cache_misses", "synth.programs_deduped", "analysis.solver_calls"} {
 		if _, ok := serial[key]; !ok {
 			t.Errorf("counter %q missing from instrumented run: %v", key, serial)
 		}

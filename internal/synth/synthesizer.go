@@ -8,12 +8,14 @@ import (
 	"github.com/guardrail-db/guardrail/internal/auxdist"
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/analysis"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/sketch"
+	"github.com/guardrail-db/guardrail/internal/smt/sat"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
 
@@ -40,6 +42,13 @@ type Options struct {
 	// CheckGNT prunes sketches that fail global non-triviality before
 	// filling (default true — set SkipGNT to disable).
 	SkipGNT bool
+	// NoDedup disables equivalence-driven candidate dedup before coverage
+	// scoring (the ablation baseline). The selected program is identical
+	// either way: dedup keeps the first member of each semantic
+	// equivalence class in enumeration order — exactly the candidate the
+	// full scan would pick, since class members share coverage and
+	// statement count.
+	NoDedup bool
 	// Seed drives sampling.
 	Seed int64
 	// Workers bounds the worker pool each pipeline stage fans out on: the
@@ -92,6 +101,12 @@ type Result struct {
 	// rejected before coverage scoring (contradictory, dead, or
 	// domain-violating fills).
 	PrunedPrograms int
+	// DedupedPrograms counts candidates skipped because an earlier
+	// candidate had the same canonical semantic form.
+	DedupedPrograms int
+	// SolverCalls counts the finite-domain solver queries spent on
+	// canonicalization.
+	SolverCalls int64
 	// CITests is the number of independence tests run by PC.
 	CITests int
 }
@@ -160,6 +175,8 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 	res.Program = sel.Program
 	res.Coverage = sel.Coverage
 	res.PrunedPrograms = sel.PrunedPrograms
+	res.DedupedPrograms = sel.DedupedPrograms
+	res.SolverCalls = sel.SolverCalls
 	res.CacheHits, res.CacheMisses = sel.CacheHits, sel.CacheMisses
 	res.FillTime = time.Since(t2)
 	opts.Obs.Histogram("synth.fill").Observe(int64(res.FillTime))
@@ -172,6 +189,12 @@ type Selection struct {
 	Coverage float64
 	// PrunedPrograms counts candidates the semantic verifier rejected.
 	PrunedPrograms int
+	// DedupedPrograms counts candidates skipped before coverage scoring
+	// because an earlier candidate had the same canonical semantic form.
+	DedupedPrograms int
+	// SolverCalls counts the finite-domain solver queries spent on
+	// canonicalization.
+	SolverCalls int64
 	// CacheHits/CacheMisses report statement-cache effectiveness.
 	CacheHits, CacheMisses int
 }
@@ -179,7 +202,8 @@ type Selection struct {
 // candidate is one DAG's fill outcome, reduced at the barrier in DAG order.
 type candidate struct {
 	prog   *dsl.Program
-	cov    float64
+	canon  string
+	calls  int64
 	pruned bool
 }
 
@@ -188,15 +212,23 @@ type candidate struct {
 // across opts.Workers workers: each candidate is screened for local
 // non-triviality, filled through the shared statement cache (identical
 // GIVEN…ON… holes are concretized once across DAGs, §7), gated by the
-// semantic verifier, and coverage-scored. Both caches are singleflight and
-// every per-DAG outcome depends only on that DAG and the shared read-only
-// inputs, so the reduction — run in enumeration order at the barrier — is
-// identical at every worker count.
+// semantic verifier, and canonicalized (internal/dsl/analysis). At the
+// barrier candidates whose canonical semantic form already appeared are
+// dropped — distinct DAGs frequently fill to equivalent programs once
+// unsupported statements fall away — and only the surviving
+// representatives fan out again for coverage scoring. Dropping a
+// duplicate cannot change the selection: equal canonical forms imply
+// identical coverage and statement count, and the kept representative is
+// the earliest class member, which is the candidate the full scan would
+// have selected. Both caches are singleflight and every per-DAG outcome
+// depends only on that DAG and the shared read-only inputs, so counters
+// and the selected program are identical at every worker count.
 func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, opts Options) (*Selection, error) {
 	opts.defaults()
 	fill := FillOptions{Epsilon: opts.Epsilon, MinSupport: opts.MinSupport}
 	cache := &StatementCache{}
 	lnt := &sketch.LNTCache{}
+	dom := sat.DomainsOf(rel)
 	cands, err := par.Map(context.Background(), opts.Workers, len(dags),
 		func(_ context.Context, k int) (candidate, error) {
 			sk := sketch.FromDAG(dags[k])
@@ -211,20 +243,52 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 			if fs := verify.Program(prog, rel); verify.HasErrors(fs) {
 				return candidate{pruned: true}, nil
 			}
-			return candidate{prog: prog, cov: dsl.Coverage(prog, rel)}, nil
+			c := candidate{prog: prog}
+			if !opts.NoDedup {
+				c.canon, c.calls = analysis.Canon(prog, dom)
+			}
+			return c, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+
+	// Dedup at the barrier, in enumeration order: the first candidate of
+	// each semantic-equivalence class survives. Keys are full canonical
+	// strings, never hashes, so a collision cannot merge inequivalent
+	// programs.
 	sel := &Selection{Program: &dsl.Program{}}
-	bestCov := -1.0
-	for _, c := range cands {
+	seen := make(map[string]bool, len(cands))
+	var uniq []int
+	for i, c := range cands {
 		if c.pruned {
 			sel.PrunedPrograms++
 			continue
 		}
-		if c.cov > bestCov || (c.cov == bestCov && len(c.prog.Stmts) > len(sel.Program.Stmts)) {
-			sel.Program, bestCov = c.prog, c.cov
+		sel.SolverCalls += c.calls
+		if !opts.NoDedup {
+			if seen[c.canon] {
+				sel.DedupedPrograms++
+				continue
+			}
+			seen[c.canon] = true
+		}
+		uniq = append(uniq, i)
+	}
+
+	// Coverage-score the unique representatives only.
+	covs, err := par.Map(context.Background(), opts.Workers, len(uniq),
+		func(_ context.Context, k int) (float64, error) {
+			return dsl.Coverage(cands[uniq[k]].prog, rel), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	bestCov := -1.0
+	for k, i := range uniq {
+		c := cands[i]
+		if covs[k] > bestCov || (covs[k] == bestCov && len(c.prog.Stmts) > len(sel.Program.Stmts)) {
+			sel.Program, bestCov = c.prog, covs[k]
 		}
 	}
 	if bestCov < 0 {
@@ -233,6 +297,8 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 	sel.Coverage = bestCov
 	sel.CacheHits, sel.CacheMisses = cache.Stats()
 	opts.Obs.Counter("synth.programs_pruned").Add(int64(sel.PrunedPrograms))
+	opts.Obs.Counter("synth.programs_deduped").Add(int64(sel.DedupedPrograms))
+	opts.Obs.Counter("analysis.solver_calls").Add(sel.SolverCalls)
 	opts.Obs.Counter("synth.stmt_cache_hits").Add(int64(sel.CacheHits))
 	opts.Obs.Counter("synth.stmt_cache_misses").Add(int64(sel.CacheMisses))
 	lntHits, lntMisses := lnt.Stats()
