@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
@@ -215,6 +216,99 @@ func TestOracleDNF(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSatMinusExclusionRegression pins the instance that exposed an unsound
+// fresh representative in candidates(): the unit clause ¬(a=0) excludes a=0
+// at the root frame and is then discharged, so remaining() drops it; at the
+// child frame a=0 is no longer mentioned by any clause and used to be
+// re-offered as the "fresh" candidate, violating the already-discharged
+// clause. Over Domains{3,2,2} values-only, the surviving clauses rule out
+// a=1 and a=2 (each needs x outside its 2-value domain), so the instance is
+// UNSAT; the missing-aware universe stays SAT via a=Missing.
+func TestSatMinusExclusionRegression(t *testing.T) {
+	dom := Domains{3, 2, 2}
+	minus := []DNF{
+		{{{Attr: 0, Value: 0}}},
+		{{{Attr: 1, Value: 0}, {Attr: 1, Value: 1}}},
+		{{{Attr: 0, Value: 1}, {Attr: 2, Value: 0}}},
+		{{{Attr: 0, Value: 1}, {Attr: 2, Value: 1}}},
+		{{{Attr: 0, Value: 2}, {Attr: 2, Value: 0}}},
+		{{{Attr: 0, Value: 2}, {Attr: 2, Value: 1}}},
+	}
+	for _, tc := range []struct {
+		name    string
+		missing bool
+		want    bool
+	}{
+		{"values-only", false, false},
+		{"missing-aware", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Solver{dom: dom, missing: tc.missing}
+			rows := enumerateRows(dom, tc.missing)
+			if want := oracleSatMinus(nil, minus, rows); want != tc.want {
+				t.Fatalf("oracle disagrees with the hand analysis: got %v, want %v", want, tc.want)
+			}
+			if got := s.SatMinus(nil, minus...); got != tc.want {
+				t.Fatalf("SatMinus(TRUE, %v) = %v, want %v", minus, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOracleRandomSatMinus sweeps the core query with seeded random
+// instances deep enough to force exclusion inheritance across branching
+// levels — the shape TestOracleSatMinus's thinned grid cannot reach: 3-4
+// attributes, 3-6 subtracted DNFs mixing unit clauses (which seed
+// exclusions) with conjunctions of up to 3 atoms (which force branching
+// after the units are discharged), checked against brute force in both
+// universes.
+func TestOracleRandomSatMinus(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	atomValues := []int32{dataset.Missing, 0, 1, 2, 3}
+	atom := func(nAttrs int) dsl.Pred {
+		return dsl.Pred{Attr: rng.Intn(nAttrs), Value: atomValues[rng.Intn(len(atomValues))]}
+	}
+	cond := func(nAttrs, maxAtoms int) dsl.Condition {
+		n := 1 + rng.Intn(maxAtoms)
+		c := make(dsl.Condition, 0, n)
+		for k := 0; k < n; k++ {
+			c = append(c, atom(nAttrs))
+		}
+		return c
+	}
+	for iter := 0; iter < 3000; iter++ {
+		nAttrs := 3 + rng.Intn(2)
+		dom := make(Domains, nAttrs)
+		for a := range dom {
+			dom[a] = 2 + rng.Intn(2)
+		}
+		var pos dsl.Condition
+		if rng.Intn(2) == 0 {
+			pos = cond(nAttrs, 2)
+		}
+		minus := make([]DNF, 3+rng.Intn(4))
+		for m := range minus {
+			d := make(DNF, 0, 2)
+			for k := 1 + rng.Intn(2); k > 0; k-- {
+				if rng.Intn(2) == 0 {
+					d = append(d, cond(nAttrs, 1)) // unit clause after negation
+				} else {
+					d = append(d, cond(nAttrs, 3))
+				}
+			}
+			minus[m] = d
+		}
+		for _, missing := range []bool{true, false} {
+			s := &Solver{dom: dom, missing: missing}
+			rows := enumerateRows(dom, missing)
+			if got, want := s.SatMinus(pos, minus...), oracleSatMinus(pos, minus, rows); got != want {
+				t.Fatalf("iter %d missing=%v dom=%v: SatMinus(%v, %v) = %v, oracle %v",
+					iter, missing, dom, pos, minus, got, want)
+			}
+		}
 	}
 }
 

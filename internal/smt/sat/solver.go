@@ -301,7 +301,10 @@ func (s *Solver) search(fixed map[int]int32, excl map[int]map[int32]bool, clause
 		ne := make(map[int]map[int32]bool, len(excl))
 		for k, ex := range excl {
 			if k == branchAttr {
-				continue // superseded by the assignment
+				// Safe to drop: candidates() filters every candidate, the
+				// fresh representative included, against excl[branchAttr],
+				// so the assignment satisfies all of these exclusions.
+				continue
 			}
 			cp := make(map[int32]bool, len(ex))
 			for val := range ex {
@@ -382,8 +385,13 @@ func (s *Solver) candidates(a int, fixed map[int]int32, excl map[int]map[int32]b
 			out = append(out, v)
 		}
 	}
-	// Fresh representative: any universe value outside mentioned (excluded
-	// values all come from literals, hence are mentioned).
+	// Fresh representative: any universe value neither mentioned by a
+	// current clause literal nor ruled out by an inherited exclusion.
+	// Exclusions can outlive the unit clause that forced them — once the
+	// clause is satisfied it is dropped by remaining(), so at deeper frames
+	// an excluded value is not necessarily mentioned anymore and must be
+	// filtered here explicitly; re-assigning it would silently violate the
+	// already-discharged clause.
 	card := s.dom.Card(a)
 	if card == 0 {
 		var max int32 = -1
@@ -392,13 +400,18 @@ func (s *Solver) candidates(a int, fixed map[int]int32, excl map[int]map[int32]b
 				max = v
 			}
 		}
+		for v := range ex {
+			if v > max {
+				max = v
+			}
+		}
 		out = append(out, max+1)
 	} else {
-		if s.missing && !mentioned[dataset.Missing] {
+		if s.missing && !mentioned[dataset.Missing] && !ex[dataset.Missing] {
 			out = append(out, dataset.Missing)
 		} else {
 			for v := int32(0); int(v) < card; v++ {
-				if !mentioned[v] {
+				if !mentioned[v] && !ex[v] {
 					out = append(out, v)
 					break
 				}
