@@ -19,6 +19,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/experiments"
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/ml"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/repair"
 	"github.com/guardrail-db/guardrail/internal/sketch"
@@ -152,6 +153,25 @@ func BenchmarkSynthesizeEndToEnd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Synthesize(rel, core.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeTraced is the overhead counterpart of
+// BenchmarkSynthesizeEndToEnd: the identical pipeline with a live tracer
+// attached. The acceptance budget is ≤5% over the untraced bench —
+// compare the two with benchstat (or eyeball ns/op) after
+// `go test -bench 'SynthesizeEndToEnd|SynthesizeTraced' -benchtime 10x .`
+func BenchmarkSynthesizeTraced(b *testing.B) {
+	rel, err := bn.PostalChain(16).Sample(3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.New(1)
+		if _, err := core.Synthesize(rel, core.Options{Seed: 1, Trace: tr.Root()}); err != nil {
 			b.Fatal(err)
 		}
 	}

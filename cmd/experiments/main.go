@@ -17,6 +17,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/experiments"
 	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/obs/debug"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 type renderer interface{ Render() string }
@@ -29,7 +30,8 @@ func main() {
 	fig7Dataset := flag.Int("fig7-dataset", 6, "dataset id for the fig7 epsilon sweep")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
 	report := flag.String("report", "", "write a JSON run-report (counters + stage timings) to this path")
-	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics, Prometheus /metrics and pprof on this address (e.g. localhost:6060)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table3|table4|table5|table6|table7|table8|fig6|fig7|smt|gnt|all>")
@@ -47,7 +49,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers, Obs: reg}
+	var tr *trace.Tracer
+	if *tracePath != "" {
+		w := *workers
+		if w < 1 {
+			w = 1
+		}
+		tr = trace.New(w)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers, Obs: reg, Trace: tr.Root()}
 	if *datasets != "" {
 		for _, part := range strings.Split(*datasets, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
@@ -96,10 +107,33 @@ func main() {
 	if summary := reg.StageSummary(); summary != "" {
 		fmt.Fprint(os.Stderr, summary)
 	}
+	if tr != nil {
+		if err := writeTrace(tr, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *tracePath)
+		if path := tr.CriticalPath(); len(path) > 0 {
+			fmt.Fprint(os.Stderr, trace.FormatCriticalPath(path))
+		}
+	}
 	if *report != "" {
-		if err := obs.WriteReport(*report, "experiments "+which, reg); err != nil {
+		if err := obs.WriteReportWithTrace(*report, "experiments "+which, reg, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTrace exports the tracer as a Chrome trace-event file.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteChrome(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -170,11 +170,11 @@ func cmdSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	reg, finish, err := of.start("synth")
+	reg, tr, finish, err := of.start("synth", *workers)
 	if err != nil {
 		return err
 	}
-	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity, Workers: *workers, Obs: reg})
+	res, err := core.Synthesize(rel, core.Options{Epsilon: *eps, Seed: *seed, IdentitySampler: *identity, Workers: *workers, Obs: reg, Trace: tr.Root()})
 	if err != nil {
 		return err
 	}
@@ -331,11 +331,11 @@ func cmdCheck(args []string, rectify bool) error {
 	if rectify {
 		command = "rectify"
 	}
-	reg, finish, err := of.start(command)
+	reg, tr, finish, err := of.start(command, 1)
 	if err != nil {
 		return err
 	}
-	rep, err := core.NewGuard(program, strat).Instrument(reg).Apply(rel)
+	rep, err := core.NewGuard(program, strat).Instrument(reg).WithTrace(tr.Root(), 0).Apply(rel)
 	if err != nil {
 		return err
 	}

@@ -33,6 +33,7 @@ func (c *checker) run() {
 		}
 		c.checkRegCopySignature(fn)
 		c.checkFunc(fn.Body)
+		c.checkSpanLeak(fn)
 	}
 }
 
@@ -270,6 +271,245 @@ func syncStateName(t types.Type, seen map[types.Type]bool) string {
 		return syncStateName(tt.Elem(), seen)
 	}
 	return ""
+}
+
+// --- check: spanleak ---
+
+// isSpanType reports whether t is one of the observability span value
+// types — obs.Span (stage timer) or trace.Span (trace-tree node). Matched
+// by package-path suffix so the testdata fixtures (whose import paths are
+// prefixed with the fixture directory) resolve the same way as real code.
+func isSpanType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Span" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for _, p := range []string{"internal/obs", "internal/obs/trace"} {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// spanVar tracks one span-typed local between its first call-assignment
+// and the analysis at the end of the function.
+type spanVar struct {
+	obj       types.Object
+	name      string
+	assignPos token.Pos
+	deferred  bool        // defer sp.Stop() / defer sp.End() anywhere
+	returned  bool        // sp appears in a return value: ownership moves out
+	endPos    []token.Pos // non-deferred sp.Stop()/sp.End() call positions
+}
+
+// checkSpanLeak flags span-typed locals received from a call (obs's
+// Histogram.Start, trace's Scope.Start, ...) that some path through the
+// function abandons without Stop/End: an unclosed obs span never records
+// its stage duration, and an unclosed trace span exports as an unfinished
+// record with no duration. A span is accounted for when it is closed by
+// a defer, closed on the way to each subsequent return statement, or
+// handed to the caller in a return value. Chained attribute calls
+// (sp.Int(...).End()) count — the receiver chain is unwound to its root.
+// Close-site coverage is branch-aware: an End inside a conditional does
+// not cover a return outside it.
+func (c *checker) checkSpanLeak(fn *ast.FuncDecl) {
+	vars := map[types.Object]*spanVar{}
+
+	// Pass 1: collect span-typed call-assignments and every Stop/End.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if _, isCall := rhs.(*ast.CallExpr); !isCall {
+					continue
+				}
+				obj := c.info.ObjectOf(id)
+				if obj == nil || !isSpanType(obj.Type()) {
+					continue
+				}
+				if _, seen := vars[obj]; !seen {
+					vars[obj] = &spanVar{obj: obj, name: id.Name, assignPos: n.Pos()}
+				}
+			}
+		case *ast.DeferStmt:
+			if sv := c.spanEndCallee(n.Call, vars); sv != nil {
+				sv.deferred = true
+			}
+		case *ast.CallExpr:
+			if sv := c.spanEndCallee(n, vars); sv != nil {
+				sv.endPos = append(sv.endPos, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if sv, tracked := vars[c.info.ObjectOf(id)]; tracked {
+							sv.returned = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: every return statement in the span's scope needs a covering
+	// Stop/End (unless the span is deferred or returned), and the
+	// fall-through path needs at least one close overall.
+	for _, sv := range vars {
+		if sv.deferred || sv.returned {
+			continue
+		}
+		if len(sv.endPos) == 0 {
+			c.report(sv.assignPos, "spanleak",
+				"span %s is started but never closed; call %s.Stop()/%s.End() or defer it",
+				sv.name, sv.name, sv.name)
+			continue
+		}
+		endChains := make([][]ast.Node, len(sv.endPos))
+		for i, p := range sv.endPos {
+			endChains[i] = stripEnclosing(enclosureChain(fn.Body, p), sv.assignPos)
+		}
+		scope := sv.obj.Parent()
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			// A return inside a nested function literal exits that literal,
+			// not the function the span lives in — unless the span itself was
+			// started inside it.
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if !(lit.Pos() <= sv.assignPos && sv.assignPos < lit.End()) {
+					return false
+				}
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() < sv.assignPos {
+				return true
+			}
+			if scope != nil && !scope.Contains(ret.Pos()) {
+				return true // span's variable is out of scope here
+			}
+			retChain := stripEnclosing(enclosureChain(fn.Body, ret.Pos()), sv.assignPos)
+			closed := false
+			for i, p := range sv.endPos {
+				if p > sv.assignPos && p < ret.Pos() && chainPrefix(endChains[i], retChain) {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				c.report(ret.Pos(), "spanleak",
+					"return path abandons span %s without Stop/End (started at line %d)",
+					sv.name, c.fset.Position(sv.assignPos).Line)
+			}
+			return true
+		})
+	}
+}
+
+// enclosureChain returns the stack of control-flow constructs (branches,
+// loops, switch clauses, function literals, and their blocks) enclosing
+// pos within root, outermost first.
+func enclosureChain(root ast.Node, pos token.Pos) []ast.Node {
+	var stack, chain []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if chain == nil && n.Pos() == pos {
+			for _, s := range stack[:len(stack)-1] {
+				switch s.(type) {
+				case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+					*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+					*ast.CaseClause, *ast.CommClause, *ast.FuncLit, *ast.BlockStmt:
+					chain = append(chain, s)
+				}
+			}
+		}
+		return true
+	})
+	return chain
+}
+
+// stripEnclosing drops the leading chain nodes that also enclose pos:
+// what remains is the chain relative to the span's assignment, so
+// constructs shared with the assignment (e.g. the loop both live in)
+// don't count as extra conditionality.
+func stripEnclosing(chain []ast.Node, pos token.Pos) []ast.Node {
+	i := 0
+	for i < len(chain) && chain[i].Pos() <= pos && pos < chain[i].End() {
+		i++
+	}
+	return chain[i:]
+}
+
+// chainPrefix reports whether close-site chain a is a prefix of
+// return-site chain b: the close dominates the return only when every
+// conditional construct the close sits in also encloses the return.
+func chainPrefix(a, b []ast.Node) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spanEndCallee returns the tracked span a Stop/End call closes, if any:
+// the call's receiver chain (sp.Int(...).End()) is unwound to its root
+// identifier and matched against the tracked locals.
+func (c *checker) spanEndCallee(call *ast.CallExpr, vars map[types.Object]*spanVar) *spanVar {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stop" && sel.Sel.Name != "End") {
+		return nil
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return nil
+	}
+	return vars[c.info.ObjectOf(id)]
+}
+
+// rootIdent unwinds a receiver chain (a.B().C.D(...)) to its leftmost
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 // --- check: maprange ---

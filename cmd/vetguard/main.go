@@ -17,6 +17,10 @@
 //	regcopy:    a receiver, parameter, result, or range value that moves
 //	            a type holding sync or sync/atomic state by value —
 //	            copying forks the lock word or counter register
+//	spanleak:   an obs.Span or trace.Span received from a call with a
+//	            path through the function that never calls Stop/End —
+//	            an unclosed span loses its stage timing or exports as an
+//	            unfinished trace record
 //
 // Usage:
 //

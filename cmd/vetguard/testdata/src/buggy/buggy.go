@@ -8,6 +8,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // MapRangeAppend leaks map iteration order into the returned slice.
@@ -114,4 +117,39 @@ func RegCopyAtomic(c atomic.Int32) int32 {
 // SuppressedRegCopy is exempted by annotation.
 func SuppressedRegCopy(g guarded) int { //vetguard:ignore snapshot of an idle struct
 	return g.hits
+}
+
+// SpanLeakNeverClosed starts a trace span and never ends it: the record
+// exports as unfinished with no duration.
+func SpanLeakNeverClosed(sc trace.Scope) {
+	sp := sc.Start("work")
+	sp.Event("tick")
+}
+
+// SpanLeakOnReturnPath closes the stage timer only on the happy path;
+// the error return abandons it and the stage never records.
+func SpanLeakOnReturnPath(h *obs.Histogram, fail bool) error {
+	sp := h.Start()
+	if fail {
+		return fmt.Errorf("boom")
+	}
+	sp.Stop()
+	return nil
+}
+
+// SpanLeakSecondReturn ends the span via a chained attribute call on one
+// branch but leaks it on the other.
+func SpanLeakSecondReturn(sc trace.Scope, n int) int {
+	sp := sc.Start("count").Int("n", int64(n))
+	if n > 0 {
+		sp.Int("pos", 1).End()
+		return n
+	}
+	return -n
+}
+
+// SuppressedSpanLeak is exempted by annotation.
+func SuppressedSpanLeak(sc trace.Scope) {
+	sp := sc.Start("fire-and-forget") //vetguard:ignore exporter flags it as unfinished on purpose
+	sp.Event("armed")
 }

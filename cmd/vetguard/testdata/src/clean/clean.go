@@ -9,6 +9,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // SortedKeys is the canonical deterministic map iteration.
@@ -121,4 +124,53 @@ func PointerElements(cs []*counter) int {
 		n += c.n
 	}
 	return n
+}
+
+// DeferredSpan closes the span with the canonical defer.
+func DeferredSpan(sc trace.Scope) {
+	sp := sc.Start("stage")
+	defer sp.End()
+	sp.Event("tick")
+}
+
+// ClosedOnEveryPath ends the stage timer on both the error and the happy
+// path.
+func ClosedOnEveryPath(h *obs.Histogram, fail bool) error {
+	sp := h.Start()
+	if fail {
+		sp.Stop()
+		return fmt.Errorf("boom")
+	}
+	sp.Stop()
+	return nil
+}
+
+// ClosedBeforeBranch ends the span unconditionally before the error
+// check — the guard-loop idiom.
+func ClosedBeforeBranch(sc trace.Scope, err error) error {
+	sp := sc.Start("row")
+	sp.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// OwnershipMoves hands the span to the caller, who closes it.
+func OwnershipMoves(sc trace.Scope) trace.Span {
+	sp := sc.Start("handed-off").Int("k", 1)
+	return sp
+}
+
+// SampledSpan mirrors the guard's 1-in-N sampling: a zero-value span,
+// conditionally started, unconditionally ended (End on a zero span is a
+// no-op).
+func SampledSpan(sc trace.Scope, rows int) {
+	var sp trace.Span
+	for i := 0; i < rows; i++ {
+		if i%100 == 0 {
+			sp = sc.Start("row").Int("row", int64(i))
+		}
+		sp.End()
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/par"
 )
 
@@ -60,6 +61,9 @@ type Options struct {
 	// Obs receives aux.shifts / aux.samples counters and the aux.sample
 	// stage timing; nil disables instrumentation at zero cost.
 	Obs *obs.Registry
+	// Trace parents the sampler's span tree (aux.sample → aux.shift); the
+	// zero scope disables tracing at zero cost.
+	Trace trace.Scope
 }
 
 func (o *Options) defaults() {
@@ -76,6 +80,8 @@ func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 	opts.defaults()
 	span := opts.Obs.Histogram("aux.sample").Start()
 	defer span.Stop()
+	tsp := opts.Trace.Start("aux.sample")
+	defer tsp.End()
 	n := rel.NumRows()
 	if n < 2 {
 		return nil, fmt.Errorf("auxdist: need at least 2 rows, have %d", n)
@@ -106,8 +112,11 @@ func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 			starts[si] = rng.Intn(n)
 		}
 	}
-	if _, err := par.Map(context.Background(), opts.Workers, len(shifts),
-		func(_ context.Context, si int) (struct{}, error) {
+	if _, err := par.Map(trace.ContextWithScope(context.Background(), opts.Trace.Under(tsp)),
+		opts.Workers, len(shifts),
+		func(ctx context.Context, si int) (struct{}, error) {
+			ssp := trace.FromContext(ctx).Start("aux.shift").
+				Int("shift", int64(shifts[si])).Int("samples", int64(perShift))
 			s, base := shifts[si], si*perShift
 			for k := 0; k < perShift; k++ {
 				i := (starts[si] + k) % n
@@ -119,6 +128,7 @@ func Sample(rel *dataset.Relation, opts Options) (*Binary, error) {
 					}
 				}
 			}
+			ssp.End()
 			return struct{}{}, nil
 		}); err != nil {
 		return nil, err

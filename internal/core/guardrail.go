@@ -11,6 +11,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/synth"
 )
 
@@ -80,6 +81,11 @@ type Guard struct {
 	prog     *dsl.Program
 	strategy Strategy
 	metrics  guardMetrics
+	// tr parents guard.apply / stream.csv spans; sampleEvery bounds per-row
+	// span volume (one guard.row / stream.row span every N rows). The zero
+	// scope disables tracing entirely.
+	tr          trace.Scope
+	sampleEvery int
 }
 
 // guardMetrics holds the guard's pre-resolved counter handles; the zero
@@ -114,6 +120,20 @@ func (g *Guard) Instrument(reg *obs.Registry) *Guard {
 		streamFlagged: reg.Counter("stream." + s + ".flagged"),
 		streamChanged: reg.Counter("stream." + s + ".changed"),
 	}
+	return g
+}
+
+// WithTrace attaches a trace scope and returns the guard for chaining.
+// Bulk passes emit one guard.apply / stream.csv span; per-row spans are
+// sampled 1-in-every to bound tracing overhead on hot streams (every < 1
+// selects the default of 1000). Sampling affects only which rows get
+// spans — stats and counters are computed for every row regardless.
+func (g *Guard) WithTrace(sc trace.Scope, every int) *Guard {
+	if every < 1 {
+		every = 1000
+	}
+	g.tr = sc
+	g.sampleEvery = every
 	return g
 }
 
@@ -166,9 +186,16 @@ type Report struct {
 // the violating one.
 func (g *Guard) Apply(rel *dataset.Relation) (*Report, error) {
 	n := rel.NumRows()
+	asp := g.tr.Start("guard.apply").Str("strategy", g.strategy.String()).Int("rows", int64(n))
+	defer asp.End()
+	rsc := g.tr.Under(asp)
 	rep := &Report{Flagged: make([]bool, n)}
 	row := make([]int32, rel.NumAttrs())
 	for i := 0; i < n; i++ {
+		var rsp trace.Span
+		if g.tr.Enabled() && i%g.sampleEvery == 0 {
+			rsp = rsc.Start("guard.row").Int("row", int64(i))
+		}
 		row = rel.Row(i, row)
 		rep.RowsChecked++
 		g.metrics.rowsChecked.Inc()
@@ -178,6 +205,7 @@ func (g *Guard) Apply(rel *dataset.Relation) (*Report, error) {
 			rep.Flagged[i] = true
 			g.metrics.rowsFlagged.Inc()
 		}
+		rsp.End()
 		if err != nil {
 			return rep, fmt.Errorf("row %d: %w", i, err)
 		}

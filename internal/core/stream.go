@@ -7,6 +7,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // StreamStats summarizes a streaming guard pass.
@@ -22,6 +23,9 @@ type StreamStats struct {
 // schema's attributes; unknown values intern into schema's dictionaries.
 // Under Raise, the first violating row aborts the stream.
 func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*StreamStats, error) {
+	ssp := g.tr.Start("stream.csv").Str("strategy", g.strategy.String())
+	defer ssp.End()
+	rsc := g.tr.Under(ssp)
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	cw := csv.NewWriter(w)
@@ -70,6 +74,10 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 		if len(rec) != len(header) {
 			return stats, fmt.Errorf("core: row %d has %d fields, want %d", stats.Rows, len(rec), len(header))
 		}
+		var rsp trace.Span
+		if g.tr.Enabled() && stats.Rows%g.sampleEvery == 0 {
+			rsp = rsc.Start("stream.row").Int("row", int64(stats.Rows))
+		}
 		for i, v := range rec {
 			if v == "" {
 				row[colOf[i]] = dataset.Missing
@@ -85,6 +93,7 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 			stats.Flagged++
 			g.metrics.streamFlagged.Inc()
 		}
+		rsp.End()
 		if err != nil {
 			return stats, fmt.Errorf("core: row %d: %w", stats.Rows, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/errgen"
 	"github.com/guardrail-db/guardrail/internal/ml"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // Config scales the experiments. Scale 1.0 reproduces Table 2 row counts;
@@ -49,6 +50,9 @@ type Config struct {
 	// Obs receives pipeline counters and stage timings from every
 	// synthesis run an experiment performs; nil disables instrumentation.
 	Obs *obs.Registry
+	// Trace parents every synthesis run's span tree; the zero scope
+	// disables tracing.
+	Trace trace.Scope
 }
 
 func (c Config) alphaOrDefault() float64 {
@@ -161,6 +165,7 @@ func synthOptions(cfg Config, seed int64) core.Options {
 		Seed:          seed,
 		Workers:       cfg.Workers,
 		Obs:           cfg.Obs,
+		Trace:         cfg.Trace,
 	}
 }
 

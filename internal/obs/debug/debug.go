@@ -52,7 +52,8 @@ type Server struct {
 }
 
 // Serve publishes reg under the "guardrail" expvar name and starts an
-// HTTP server on addr exposing /debug/vars and /debug/pprof/*. It uses a
+// HTTP server on addr exposing /debug/vars, /debug/pprof/*, and a
+// Prometheus-format /metrics endpoint. It uses a
 // private mux so importing net/http/pprof-style handlers never pollutes
 // http.DefaultServeMux. The listener is bound synchronously — a bad addr
 // fails here, not in the background goroutine.
@@ -61,6 +62,7 @@ func Serve(addr string, reg *obs.Registry) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", metricsHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,90 @@
+package debug
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+// metricsHandler renders the currently-published registry in Prometheus
+// text exposition format (version 0.0.4), so a long-running guard process
+// can be scraped directly: counters and gauges map one-to-one, and each
+// stage histogram becomes a summary metric in seconds with
+// quantile-labelled samples plus _sum and _count.
+func metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	published.mu.Lock()
+	reg := published.reg
+	published.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, reg.Snapshot())
+}
+
+// WriteMetrics renders snap as Prometheus text exposition format. Output
+// is deterministic: families are grouped by kind (counters, gauges,
+// summaries) and sorted by name within each group, so the rendering is
+// golden-testable.
+func WriteMetrics(w io.Writer, snap obs.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, snap.Gauges[name])
+	}
+
+	// Stage histograms record nanoseconds internally; Prometheus convention
+	// is base units, so durations are exported as seconds. Quantiles come
+	// from the snapshot's bounded recent-sample ring (see StageSnapshot),
+	// which matches summary semantics: a windowed estimate, not an exact
+	// all-time quantile.
+	for _, st := range snap.Stages {
+		m := promName(st.Name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", m)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", m, promSeconds(st.P50NS))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", m, promSeconds(st.P90NS))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", m, promSeconds(st.P99NS))
+		fmt.Fprintf(w, "%s_sum %s\n", m, promSeconds(st.TotalNS))
+		fmt.Fprintf(w, "%s_count %d\n", m, st.Count)
+	}
+}
+
+// promName maps a registry metric name onto the Prometheus namespace:
+// prefixed with guardrail_ and with every character outside [a-zA-Z0-9_]
+// replaced by an underscore ("pc.ci_tests" → "guardrail_pc_ci_tests").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("guardrail_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds renders nanoseconds as a seconds float in the shortest
+// round-trippable form.
+func promSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}

@@ -1,0 +1,114 @@
+package debug
+
+import (
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+)
+
+// TestWriteMetricsGolden pins the Prometheus text rendering exactly: a
+// registry with known contents must produce this byte-for-byte output
+// (exposition format 0.0.4 — TYPE lines, counter/gauge samples, stage
+// summaries in seconds with quantile labels).
+func TestWriteMetricsGolden(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("pc.ci_tests").Add(42)
+	reg.Counter("synth.dags").Add(7)
+	reg.Gauge("synth.workers").Set(4)
+	h := reg.Histogram("synth.learn")
+	// Quantiles are exact here: 100 observations of 1..100 µs fit the ring.
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+
+	var b strings.Builder
+	WriteMetrics(&b, reg.Snapshot())
+	want := `# TYPE guardrail_pc_ci_tests counter
+guardrail_pc_ci_tests 42
+# TYPE guardrail_synth_dags counter
+guardrail_synth_dags 7
+# TYPE guardrail_synth_workers gauge
+guardrail_synth_workers 4
+# TYPE guardrail_synth_learn_seconds summary
+guardrail_synth_learn_seconds{quantile="0.5"} 5e-05
+guardrail_synth_learn_seconds{quantile="0.9"} 9e-05
+guardrail_synth_learn_seconds{quantile="0.99"} 9.9e-05
+guardrail_synth_learn_seconds_sum 0.00505
+guardrail_synth_learn_seconds_count 100
+`
+	if got := b.String(); got != want {
+		t.Errorf("metrics rendering mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// promLine accepts one sample line of the text exposition format:
+// metric_name{optional="labels"} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9][0-9eE.+-]*$`)
+
+// TestMetricsEndpoint scrapes /metrics off a live server and validates
+// every line parses as Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("guard.raise.rows_checked").Add(3)
+	reg.Histogram("sql.guard").Observe(1500)
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+
+	code, body := get(t, "http://"+s.Addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d\n%s", code, body)
+	}
+	text := string(body)
+	if !strings.Contains(text, "guardrail_guard_raise_rows_checked 3") {
+		t.Errorf("missing counter sample:\n%s", text)
+	}
+	if !strings.Contains(text, "guardrail_sql_guard_seconds_count 1") {
+		t.Errorf("missing summary count:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as a Prometheus sample: %q", line)
+		}
+	}
+}
+
+// TestPromName pins the name mapping.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"pc.ci_tests":             "guardrail_pc_ci_tests",
+		"guard.raise.rows_ooted":  "guardrail_guard_raise_rows_ooted",
+		"weird-name with spaces!": "guardrail_weird_name_with_spaces_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteMetricsEmpty: an empty snapshot renders to nothing rather than
+// malformed output.
+func TestWriteMetricsEmpty(t *testing.T) {
+	var b strings.Builder
+	var reg *obs.Registry
+	WriteMetrics(&b, reg.Snapshot())
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", b.String())
+	}
+}

@@ -227,6 +227,7 @@ func (h *Histogram) snapshot(name string) StageSnapshot {
 	s := StageSnapshot{
 		Name:    name,
 		Count:   h.count,
+		Sampled: int64(h.n),
 		TotalNS: h.sum,
 		MinNS:   h.min,
 		MaxNS:   h.max,

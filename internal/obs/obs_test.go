@@ -72,6 +72,9 @@ func TestHistogramQuantiles(t *testing.T) {
 	if s.Count != 100 || s.MinNS != 1 || s.MaxNS != 100 || s.TotalNS != 5050 {
 		t.Errorf("snapshot = %+v", s)
 	}
+	if s.Sampled != 100 {
+		t.Errorf("sampled = %d, want 100 (ring not yet full)", s.Sampled)
+	}
 	if s.P50NS < 45 || s.P50NS > 55 {
 		t.Errorf("p50 = %d, want ~50", s.P50NS)
 	}
@@ -86,6 +89,9 @@ func TestHistogramQuantiles(t *testing.T) {
 	s = h.snapshot("stage")
 	if s.Count != int64(100+histRing*2) {
 		t.Errorf("count after overflow = %d", s.Count)
+	}
+	if s.Sampled != histRing {
+		t.Errorf("sampled after overflow = %d, want %d (ring capacity)", s.Sampled, histRing)
 	}
 	if s.P50NS != 7 {
 		t.Errorf("p50 after ring overflow = %d, want 7 (ring holds only recent values)", s.P50NS)
@@ -165,6 +171,12 @@ func TestWriteReport(t *testing.T) {
 	if len(rep.Stages) != 1 || rep.Stages[0].Name != "synth.learn" {
 		t.Errorf("stages = %+v", rep.Stages)
 	}
+	if rep.Stages[0].Sampled != 1 {
+		t.Errorf("stage sampled = %d, want 1", rep.Stages[0].Sampled)
+	}
+	if !strings.Contains(string(data), `"sampled"`) {
+		t.Error("report JSON missing the sampled field")
+	}
 }
 
 // TestWriteReportNilRegistry: -report without instrumentation still emits
@@ -199,6 +211,9 @@ func TestStageSummary(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
 	if len(lines) != 3 { // header + 2 stages
 		t.Errorf("summary has %d lines, want 3:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "sampled") || !strings.Contains(lines[0], "last 512 samples") {
+		t.Errorf("header missing sampled column or window note:\n%s", lines[0])
 	}
 }
 

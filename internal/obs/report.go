@@ -7,14 +7,24 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // StageSnapshot is the reduced view of one stage histogram. All values are
-// nanoseconds (except Count); they are wall-clock derived and therefore
-// never diffed by tests — only the counters section is deterministic.
+// nanoseconds (except Count and Sampled); they are wall-clock derived and
+// therefore never diffed by tests — only the counters section is
+// deterministic.
+//
+// Count/TotalNS/MinNS/MaxNS cover every observation ever made, but the
+// quantiles are computed over only the histogram's bounded ring of recent
+// observations; Sampled reports how many ring entries backed them. When
+// Sampled < Count the quantiles describe a recent window, not the full
+// history — read them as estimates.
 type StageSnapshot struct {
 	Name    string `json:"name"`
 	Count   int64  `json:"count"`
+	Sampled int64  `json:"sampled"`
 	TotalNS int64  `json:"total_ns"`
 	MinNS   int64  `json:"min_ns"`
 	MaxNS   int64  `json:"max_ns"`
@@ -72,16 +82,25 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // RunReport is the JSON document written by -report: which command ran,
-// plus the full metrics snapshot.
+// plus the full metrics snapshot and — when tracing was on — the trace's
+// critical path. The critical path, like the stages section, is
+// wall-clock derived and never diffed by tests.
 type RunReport struct {
 	Command string `json:"command"`
 	Snapshot
+	CriticalPath []trace.PathStep `json:"critical_path,omitempty"`
 }
 
 // WriteReport snapshots reg and writes a RunReport to path as indented
 // JSON. A nil registry writes an empty (but valid) report.
 func WriteReport(path, command string, reg *Registry) error {
-	rep := RunReport{Command: command, Snapshot: reg.Snapshot()}
+	return WriteReportWithTrace(path, command, reg, nil)
+}
+
+// WriteReportWithTrace is WriteReport plus the critical path of tr
+// embedded as the report's critical_path field; a nil tracer omits it.
+func WriteReportWithTrace(path, command string, reg *Registry, tr *trace.Tracer) error {
+	rep := RunReport{Command: command, Snapshot: reg.Snapshot(), CriticalPath: tr.CriticalPath()}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: marshal report: %w", err)
@@ -102,10 +121,11 @@ func (r *Registry) StageSummary() string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s\n", "stage", "count", "total", "p50", "max")
+	fmt.Fprintf(&b, "%-16s %8s %8s %12s %12s %12s   (p50 over last %d samples)\n",
+		"stage", "count", "sampled", "total", "p50", "max", histRing)
 	for _, st := range s.Stages {
-		fmt.Fprintf(&b, "%-16s %8d %12s %12s %12s\n",
-			st.Name, st.Count,
+		fmt.Fprintf(&b, "%-16s %8d %8d %12s %12s %12s\n",
+			st.Name, st.Count, st.Sampled,
 			time.Duration(st.TotalNS).Round(time.Microsecond),
 			time.Duration(st.P50NS).Round(time.Microsecond),
 			time.Duration(st.MaxNS).Round(time.Microsecond))

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PathStep is one hop on the critical path: a span, its depth below the
+// root, its total duration, and its self time (wall-clock on the path
+// not covered by deeper steps). Serialized into RunReport as the
+// critical_path field.
+type PathStep struct {
+	Name   string `json:"name"`
+	ID     SpanID `json:"span_id"`
+	Lane   int    `json:"lane"`
+	Depth  int    `json:"depth"`
+	DurNS  int64  `json:"dur_ns"`
+	SelfNS int64  `json:"self_ns"`
+}
+
+// CriticalPath walks the span tree backward from the end of the longest
+// root span: at each point in time the path follows the child that was
+// last still running, then continues backward from that child's start —
+// so sequential children (pipeline stages) each appear on the path, not
+// just the final one. Each step's self time is the wall-clock the path
+// spent inside that span but outside any deeper step; self times over a
+// subtree sum to the subtree's duration. Instant events and still-open
+// spans are skipped. Returns nil on a nil or empty trace.
+func (t *Tracer) CriticalPath() []PathStep {
+	if t == nil {
+		return nil
+	}
+	b := cpBuilder{children: make(map[SpanID][]Record)}
+	var roots []Record
+	for _, r := range t.Records() {
+		if r.Instant || r.Dur < 0 {
+			continue
+		}
+		if r.Parent == 0 {
+			roots = append(roots, r)
+		} else {
+			b.children[r.Parent] = append(b.children[r.Parent], r)
+		}
+	}
+	var root Record
+	for _, r := range roots {
+		if root.ID == 0 || r.Dur > root.Dur {
+			root = r
+		}
+	}
+	if root.ID == 0 {
+		return nil
+	}
+	b.walk(root, 0)
+	return b.steps
+}
+
+// cpBuilder accumulates path steps in tree order: each span is followed
+// by its on-path children in chronological order.
+type cpBuilder struct {
+	children map[SpanID][]Record
+	steps    []PathStep
+}
+
+func (b *cpBuilder) walk(r Record, depth int) {
+	idx := len(b.steps)
+	b.steps = append(b.steps, PathStep{Name: r.Name, ID: r.ID, Lane: r.Lane, Depth: depth, DurNS: r.Dur})
+
+	// Backward scan: repeatedly take the latest-ending unchosen child that
+	// finished by the current frontier, credit the gap to r's self time,
+	// and move the frontier to that child's start. Children are removed as
+	// chosen so zero-duration spans cannot be picked twice.
+	kids := append([]Record(nil), b.children[r.ID]...)
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].End() != kids[j].End() {
+			return kids[i].End() > kids[j].End()
+		}
+		return kids[i].Dur > kids[j].Dur
+	})
+	frontier := r.End()
+	self := int64(0)
+	var chain []Record
+	for _, c := range kids {
+		if c.End() > frontier {
+			continue // overlaps a child already on the path
+		}
+		self += frontier - c.End()
+		chain = append(chain, c)
+		frontier = c.Start
+	}
+	self += frontier - r.Start
+	if self < 0 {
+		self = 0
+	}
+
+	// chain was collected latest-first; recurse in chronological order so
+	// the rendered path reads forward in time.
+	for i := len(chain) - 1; i >= 0; i-- {
+		b.walk(chain[i], depth+1)
+	}
+	b.steps[idx].SelfNS = self
+}
+
+// formatPathMax bounds the console rendering; the report JSON always
+// carries the full path.
+const formatPathMax = 24
+
+// FormatCriticalPath renders the chain as an indented table mirroring
+// StageSummary's style: one line per step with total and self time. Long
+// paths are truncated with a trailing count.
+func FormatCriticalPath(steps []PathStep) string {
+	if len(steps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path (total %s):\n", fmtNS(steps[0].DurNS))
+	for i, s := range steps {
+		if i == formatPathMax {
+			fmt.Fprintf(&b, "  … (%d more steps; full path in the -report JSON)\n", len(steps)-i)
+			break
+		}
+		indent := s.Depth
+		if indent > 10 {
+			indent = 10
+		}
+		fmt.Fprintf(&b, "  %s%-*s %12s self %12s  lane %d\n",
+			strings.Repeat("  ", indent), 24-2*indent, s.Name, fmtNS(s.DurNS), fmtNS(s.SelfNS), s.Lane)
+	}
+	return b.String()
+}
+
+// fmtNS renders nanoseconds with ms/µs/ns units, matching the report's
+// human summaries.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}

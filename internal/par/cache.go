@@ -1,8 +1,11 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // cacheShards keeps lock contention low without bloating the zero value;
@@ -36,6 +39,29 @@ type cacheEntry[V any] struct {
 // caller and every other access counts as a hit, matching the serial
 // map-semantics of a single-threaded memo table.
 func (c *Cache[V]) Do(key string, fn func() V) V {
+	v, _ := c.do(key, fn)
+	return v
+}
+
+// DoTraced is Do plus a trace instant on the scope carried by ctx: a
+// "cache.hit" or "cache.miss" event tagged with the cache's name, so a
+// trace shows exactly which pool slots paid for computation and which rode
+// the memo table. Tracing disabled (no scope in ctx) costs nothing extra.
+func (c *Cache[V]) DoTraced(ctx context.Context, name, key string, fn func() V) V {
+	v, hit := c.do(key, fn)
+	if sc := trace.FromContext(ctx); sc.Enabled() {
+		if hit {
+			sc.EventStr("cache.hit", "cache", name)
+		} else {
+			sc.EventStr("cache.miss", "cache", name)
+		}
+	}
+	return v
+}
+
+// do is the shared lookup; the second result reports whether the key was
+// already present (a hit).
+func (c *Cache[V]) do(key string, fn func() V) (V, bool) {
 	sh := &c.shards[fnv1a(key)%cacheShards]
 	sh.mu.Lock()
 	e, ok := sh.entries[key]
@@ -53,7 +79,7 @@ func (c *Cache[V]) Do(key string, fn func() V) V {
 		c.misses.Add(1)
 	}
 	e.once.Do(func() { e.val = fn() })
-	return e.val
+	return e.val, ok
 }
 
 // Stats reports cache effectiveness so far. The counts are deterministic

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // Resolve normalizes a Workers option: values <= 0 select
@@ -53,6 +55,7 @@ type cell[T any] struct {
 type item[T any] struct {
 	cell *cell[T]
 	fn   func(context.Context) (T, error)
+	idx  int
 }
 
 // Pool runs submitted tasks on a bounded set of workers. Submit and Wait
@@ -67,6 +70,10 @@ type Pool[T any] struct {
 	wg      sync.WaitGroup
 	cells   []*cell[T]
 	serial  bool
+	// sc is the submitting goroutine's trace scope, captured at New. Each
+	// worker rebinds it onto its own tracer lane (worker w → lane w+1), so
+	// every span a task emits lands in a buffer only that worker writes.
+	sc trace.Scope
 
 	failOnce sync.Once
 	batchErr error // first task error observed; set before cancelling
@@ -75,8 +82,9 @@ type Pool[T any] struct {
 // New builds a pool of Resolve(workers) workers bound to ctx.
 func New[T any](ctx context.Context, workers int) *Pool[T] {
 	workers = Resolve(workers)
+	sc := trace.FromContext(ctx)
 	ctx, cancel := context.WithCancel(ctx)
-	p := &Pool[T]{ctx: ctx, cancel: cancel, workers: workers}
+	p := &Pool[T]{ctx: ctx, cancel: cancel, workers: workers, sc: sc}
 	if workers == 1 {
 		p.serial = true
 		return p
@@ -84,7 +92,7 @@ func New[T any](ctx context.Context, workers int) *Pool[T] {
 	p.tasks = make(chan item[T])
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(w)
 	}
 	return p
 }
@@ -94,6 +102,7 @@ func New[T any](ctx context.Context, workers int) *Pool[T] {
 func (p *Pool[T]) Submit(fn func(context.Context) (T, error)) {
 	c := &cell[T]{}
 	p.cells = append(p.cells, c)
+	it := item[T]{cell: c, fn: fn, idx: len(p.cells) - 1}
 	if p.serial {
 		// Same skip rule as the worker loop: a failed or cancelled batch
 		// marks the remaining cells instead of running them.
@@ -101,33 +110,46 @@ func (p *Pool[T]) Submit(fn func(context.Context) (T, error)) {
 			c.err = err
 			return
 		}
-		p.run(item[T]{cell: c, fn: fn})
+		// Inline tasks run on the submitting goroutine, so they keep its
+		// lane — correct even when that goroutine is itself a worker of an
+		// outer pool (nested pools stay single-writer per lane).
+		p.run(it, p.ctx, p.sc)
 		return
 	}
-	p.tasks <- item[T]{cell: c, fn: fn}
+	p.tasks <- it
 }
 
-func (p *Pool[T]) worker() {
+func (p *Pool[T]) worker(w int) {
 	defer p.wg.Done()
+	// Attribute this worker's spans to its own lane: lane 0 belongs to the
+	// coordinating goroutine, worker w owns lane w+1. A tracer with fewer
+	// lanes than workers yields a nil lane, which disables tracing for the
+	// surplus workers rather than racing two writers on one buffer.
+	sc := p.sc.OnLane(p.sc.Lane().Tracer().Lane(w + 1))
+	ctx := trace.ContextWithScope(p.ctx, sc)
 	for it := range p.tasks {
 		if err := p.ctx.Err(); err != nil {
 			it.cell.err = err
 			continue
 		}
-		p.run(it)
+		p.run(it, ctx, sc)
 	}
 }
 
 // run executes one task, converting a panic into a recorded PanicError and
-// cancelling the batch on any failure.
-func (p *Pool[T]) run(it item[T]) {
+// cancelling the batch on any failure. Each task gets a "par.task" span on
+// the running goroutine's lane, and the task context's scope is re-rooted
+// under it so spans the task emits nest inside their pool slot.
+func (p *Pool[T]) run(it item[T], ctx context.Context, sc trace.Scope) {
+	sp := sc.Start("par.task").Int("idx", int64(it.idx))
+	defer sp.End()
 	defer func() {
 		if r := recover(); r != nil {
 			it.cell.panicked = &PanicError{Value: r, Stack: debug.Stack()}
 			p.cancel()
 		}
 	}()
-	v, err := it.fn(p.ctx)
+	v, err := it.fn(trace.ContextWithScope(ctx, sc.Under(sp)))
 	if err != nil {
 		it.cell.err = err
 		p.fail(err)

@@ -13,6 +13,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
@@ -35,6 +36,10 @@ type Options struct {
 	// Obs receives pc.ci_tests / pc.edges_removed counters and the
 	// pc.learn stage timing; nil disables instrumentation at zero cost.
 	Obs *obs.Registry
+	// Trace parents the learner's span tree (pc.learn → pc.level →
+	// pc.edge); the zero scope disables tracing at zero cost. Timings are
+	// wall-clock and never feed back into results.
+	Trace trace.Scope
 }
 
 func (o *Options) defaults() {
@@ -68,6 +73,9 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 	span := opts.Obs.Histogram("pc.learn").Start()
 	defer span.Stop()
 	n := d.NumVars()
+	tsp := opts.Trace.Start("pc.learn").Int("vars", int64(n))
+	defer tsp.End()
+	lsc := opts.Trace.Under(tsp)
 	if n == 0 {
 		return nil, fmt.Errorf("pc: no variables")
 	}
@@ -99,23 +107,33 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 		// Decide every edge of the level against the frozen adjacency
 		// snapshot concurrently — decisions are independent because no
 		// deletion is applied until the level barrier below.
-		decisions, err := par.Map(context.Background(), opts.Workers, len(edges),
-			func(_ context.Context, k int) (edgeDecision, error) {
-				return decideEdge(d, edges[k].i, edges[k].j, adj, level, opts), nil
+		lsp := lsc.Start("pc.level").Int("level", int64(level)).Int("edges", int64(len(edges)))
+		decisions, err := par.Map(trace.ContextWithScope(context.Background(), lsc.Under(lsp)),
+			opts.Workers, len(edges),
+			func(ctx context.Context, k int) (edgeDecision, error) {
+				esp := trace.FromContext(ctx).Start("pc.edge").
+					Int("i", int64(edges[k].i)).Int("j", int64(edges[k].j))
+				dec := decideEdge(d, edges[k].i, edges[k].j, adj, level, opts)
+				esp.Int("tests", int64(dec.tests)).Bool("removed", dec.remove).End()
+				return dec, nil
 			})
 		if err != nil {
+			lsp.End()
 			return nil, err
 		}
 		// Level barrier: merge deletions and sepsets in edge order.
 		removedAny := false
+		removed := 0
 		for k, dec := range decisions {
 			tests += dec.tests
 			if dec.remove {
 				skel.RemoveEdge(edges[k].i, edges[k].j)
 				sep[graph.PairKey(edges[k].i, edges[k].j)] = dec.sep
 				removedAny = true
+				removed++
 			}
 		}
+		lsp.Int("removed", int64(removed)).End()
 		if !removedAny && level > 0 {
 			break
 		}

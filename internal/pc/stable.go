@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/guardrail-db/guardrail/internal/graph"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
@@ -81,6 +82,8 @@ func (r *resample) Codes(i int) []int32 {
 func LearnStable(d stats.Data, opts StableOptions) (*Result, error) {
 	opts.defaults()
 	opts.Obs.Counter("pc.bootstrap_rounds").Add(int64(opts.Rounds))
+	tsp := opts.Trace.Start("pc.stable").Int("rounds", int64(opts.Rounds))
+	defer tsp.End()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	n := d.NumVars()
 	samples := make([]*resample, opts.Rounds)
@@ -88,12 +91,22 @@ func LearnStable(d stats.Data, opts StableOptions) (*Result, error) {
 		samples[round] = newResample(d, rng)
 	}
 	// Each round is one worker-pool task; the per-level sweep inside these
-	// Learn calls stays serial so the pool is not oversubscribed.
+	// Learn calls stays serial so the pool is not oversubscribed. Each
+	// round's Learn inherits the worker's own trace lane from the task
+	// context, keeping every lane single-writer even though the inner
+	// learner also starts spans.
 	roundOpts := opts.Options
 	roundOpts.Workers = 1
-	results, err := par.Map(context.Background(), opts.Workers, opts.Rounds,
-		func(_ context.Context, round int) (*Result, error) {
-			return Learn(samples[round], roundOpts)
+	results, err := par.Map(trace.ContextWithScope(context.Background(), opts.Trace.Under(tsp)),
+		opts.Workers, opts.Rounds,
+		func(ctx context.Context, round int) (*Result, error) {
+			sc := trace.FromContext(ctx)
+			rsp := sc.Start("pc.round").Int("round", int64(round))
+			ro := roundOpts
+			ro.Trace = sc.Under(rsp)
+			res, rerr := Learn(samples[round], ro)
+			rsp.End()
+			return res, rerr
 		})
 	if err != nil {
 		return nil, err
@@ -112,7 +125,9 @@ func LearnStable(d stats.Data, opts StableOptions) (*Result, error) {
 		}
 	}
 	// Full-data pass supplies sepsets and the tie-breaking skeleton.
-	full, err := Learn(d, opts.Options)
+	fullOpts := opts.Options
+	fullOpts.Trace = opts.Trace.Under(tsp)
+	full, err := Learn(d, fullOpts)
 	if err != nil {
 		return nil, err
 	}

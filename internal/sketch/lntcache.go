@@ -1,6 +1,8 @@
 package sketch
 
 import (
+	"context"
+
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/stats"
 )
@@ -29,7 +31,13 @@ type lntOutcome struct {
 // LNT reports the cached local non-triviality of s over d, computing it on
 // the first request for s's key.
 func (c *LNTCache) LNT(s Stmt, d stats.Data, alpha float64) (bool, error) {
-	out := c.cache.Do(s.Key(), func() lntOutcome {
+	return c.LNTCtx(context.Background(), s, d, alpha)
+}
+
+// LNTCtx is LNT plus cache hit/miss trace instants on the scope carried by
+// ctx (see par.Cache.DoTraced); the screen itself is unchanged.
+func (c *LNTCache) LNTCtx(ctx context.Context, s Stmt, d stats.Data, alpha float64) (bool, error) {
+	out := c.cache.DoTraced(ctx, "lnt", s.Key(), func() lntOutcome {
 		ok, err := LNT(s, d, alpha)
 		return lntOutcome{ok: ok, err: err}
 	})

@@ -11,6 +11,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/ml"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // Value is a SQL value: a number, a string, or NULL.
@@ -67,6 +68,10 @@ type Env struct {
 	// Obs receives sql.* counters and the sql.guard / sql.inference stage
 	// timings; nil disables instrumentation at zero cost.
 	Obs *obs.Registry
+	// Trace parents the executor's span tree (sql.query → sql.guard /
+	// sql.scan / sql.predict); the zero scope disables tracing at zero
+	// cost.
+	Trace trace.Scope
 }
 
 // Stats reports executor instrumentation (Table 6's breakdown).
@@ -270,27 +275,36 @@ func (ex *executor) run(q *Query) (*Result, error) {
 	reg := ex.env.Obs
 	reg.Counter("sql.queries").Inc()
 	reg.Counter("sql.rows_scanned").Add(int64(n))
+	qsp := ex.env.Trace.Start("sql.query").Int("rows", int64(n))
+	defer qsp.End()
+	tsc := ex.env.Trace.Under(qsp)
 
 	// Stage 0: guard interception — every incoming row is vetted before
 	// anything downstream sees it (Example 1.2). Work on copies so Coerce
 	// and Rectify do not mutate the caller's relation.
+	ssp := tsc.Start("sql.scan")
 	rows := make([][]int32, n)
 	for i := 0; i < n; i++ {
 		rows[i] = rel.Row(i, nil)
 	}
+	ssp.End()
 	if ex.env.Guard != nil {
 		t0 := time.Now()
+		gsp := tsc.Start("sql.guard")
 		for i := range rows {
 			if _, err := ex.env.Guard.CheckRow(rows[i]); err != nil {
+				gsp.End()
 				return nil, fmt.Errorf("sqlexec: guard: %w", err)
 			}
 		}
+		gsp.End()
 		ex.stats.GuardTime = time.Since(t0)
 		reg.Histogram("sql.guard").Observe(int64(ex.stats.GuardTime))
 	}
 
 	// Stage 1: predicate pushdown — evaluate prediction-free conjuncts
 	// before running the model.
+	psp := tsc.Start("sql.plan")
 	var pre, post []Expr
 	if q.Where != nil {
 		for _, c := range splitConjuncts(q.Where) {
@@ -307,6 +321,7 @@ func (ex *executor) run(q *Query) (*Result, error) {
 		for _, c := range pre {
 			v, err := ex.evalRow(c, rows[i])
 			if err != nil {
+				psp.End()
 				return nil, err
 			}
 			if !v.truthy() {
@@ -320,6 +335,7 @@ func (ex *executor) run(q *Query) (*Result, error) {
 	}
 	ex.stats.RowsFiltered = n - len(live)
 	reg.Counter("sql.rows_filtered").Add(int64(ex.stats.RowsFiltered))
+	psp.Int("filtered", int64(ex.stats.RowsFiltered)).End()
 
 	// Stage 2: compute needed predictions for surviving rows.
 	labels := map[string]bool{}
@@ -329,10 +345,12 @@ func (ex *executor) run(q *Query) (*Result, error) {
 		model := ex.env.Models[label]
 		col := make([]int32, n)
 		t0 := time.Now()
+		msp := tsc.Start("sql.predict").Str("label", label).Int("rows", int64(len(live)))
 		for _, i := range live {
 			col[i] = model.Predict(rows[i])
 			ex.stats.PredictCalls++
 		}
+		msp.End()
 		dt := time.Since(t0)
 		ex.stats.InferenceTime += dt
 		reg.Histogram("sql.inference").Observe(int64(dt))

@@ -7,6 +7,7 @@
 package synth
 
 import (
+	"context"
 	"sort"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
@@ -159,7 +160,13 @@ type cachedStmt struct {
 
 // Fill returns the cached concretization of sk, computing it on a miss.
 func (c *StatementCache) Fill(rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl.Statement, bool) {
-	e := c.cache.Do(sk.Key(), func() cachedStmt {
+	return c.FillCtx(context.Background(), rel, sk, opts)
+}
+
+// FillCtx is Fill plus cache hit/miss trace instants on the scope carried
+// by ctx (see par.Cache.DoTraced); behavior is otherwise identical.
+func (c *StatementCache) FillCtx(ctx context.Context, rel *dataset.Relation, sk sketch.Stmt, opts FillOptions) (dsl.Statement, bool) {
+	e := c.cache.DoTraced(ctx, "stmt", sk.Key(), func() cachedStmt {
 		stmt, ok := FillStatement(rel, sk, opts)
 		return cachedStmt{stmt: stmt, ok: ok}
 	})
@@ -173,12 +180,18 @@ func (c *StatementCache) Stats() (hits, misses int) { return c.cache.Stats() }
 // FillProgram concretizes every statement of a program sketch (Alg. 1,
 // outer loop), dropping statements that concretize to ⊥. cache may be nil.
 func FillProgram(rel *dataset.Relation, p sketch.Prog, opts FillOptions, cache *StatementCache) *dsl.Program {
+	return FillProgramCtx(context.Background(), rel, p, opts, cache)
+}
+
+// FillProgramCtx is FillProgram with per-statement cache trace events
+// attributed to the scope carried by ctx.
+func FillProgramCtx(ctx context.Context, rel *dataset.Relation, p sketch.Prog, opts FillOptions, cache *StatementCache) *dsl.Program {
 	prog := &dsl.Program{}
 	for _, sk := range p.Stmts {
 		var stmt dsl.Statement
 		var ok bool
 		if cache != nil {
-			stmt, ok = cache.Fill(rel, sk, opts)
+			stmt, ok = cache.FillCtx(ctx, rel, sk, opts)
 		} else {
 			stmt, ok = FillStatement(rel, sk, opts)
 		}

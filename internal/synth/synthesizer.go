@@ -12,6 +12,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/par"
 	"github.com/guardrail-db/guardrail/internal/pc"
 	"github.com/guardrail-db/guardrail/internal/sketch"
@@ -62,6 +63,11 @@ type Options struct {
 	// zero cost. Counter content is schedule-independent: identical at
 	// every worker count on the same seed.
 	Obs *obs.Registry
+	// Trace parents the pipeline's span tree (synth.run → stage spans →
+	// per-DAG / per-edge / per-shift work, attributed to worker lanes); the
+	// zero scope disables tracing at zero cost. Spans record wall-clock
+	// only and never influence the synthesized program.
+	Trace trace.Scope
 }
 
 func (o *Options) defaults() {
@@ -125,9 +131,13 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 	}
 	res := &Result{}
 	opts.Obs.Gauge("synth.workers").Set(int64(opts.Workers))
+	run := opts.Trace.Start("synth.run").Int("workers", int64(opts.Workers))
+	defer run.End()
+	stage := opts.Trace.Under(run)
 
 	// Stage 1: structure learning.
 	t0 := time.Now()
+	lsp := stage.Start("synth.learn")
 	var data stats.Data
 	if opts.IdentitySampler {
 		data = auxdist.Identity(rel)
@@ -138,16 +148,21 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 			Seed:       opts.Seed,
 			Workers:    opts.Workers,
 			Obs:        opts.Obs,
+			Trace:      stage.Under(lsp),
 		})
 		if err != nil {
+			lsp.End()
 			return nil, fmt.Errorf("synth: auxiliary sampling: %w", err)
 		}
 		data = aux
 	}
-	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond, Workers: opts.Workers, Obs: opts.Obs})
+	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond,
+		Workers: opts.Workers, Obs: opts.Obs, Trace: stage.Under(lsp)})
 	if err != nil {
+		lsp.End()
 		return nil, fmt.Errorf("synth: structure learning: %w", err)
 	}
+	lsp.End()
 	res.CPDAG = learned.CPDAG
 	res.CITests = learned.Tests
 	res.LearnTime = time.Since(t0)
@@ -155,12 +170,15 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 
 	// Stage 2: MEC enumeration (Alg. 2 outer loop).
 	t1 := time.Now()
+	esp := stage.Start("synth.enum")
 	dags, err := graph.EnumerateMEC(learned.CPDAG, opts.MaxDAGs)
 	if err == graph.ErrEnumLimit {
 		res.EnumTruncated = true
 	} else if err != nil {
+		esp.End()
 		return nil, fmt.Errorf("synth: MEC enumeration: %w", err)
 	}
+	esp.Int("dags", int64(len(dags))).End()
 	res.NumDAGs = len(dags)
 	res.EnumTime = time.Since(t1)
 	opts.Obs.Counter("synth.dags").Add(int64(res.NumDAGs))
@@ -168,7 +186,11 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 
 	// Stage 3: fill sketches and pick the maximum-coverage program.
 	t2 := time.Now()
-	sel, err := SelectProgram(rel, dags, data, opts)
+	fsp := stage.Start("synth.fill")
+	selOpts := opts
+	selOpts.Trace = stage.Under(fsp)
+	sel, err := SelectProgram(rel, dags, data, selOpts)
+	fsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("synth: program selection: %w", err)
 	}
@@ -229,24 +251,29 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 	cache := &StatementCache{}
 	lnt := &sketch.LNTCache{}
 	dom := sat.DomainsOf(rel)
-	cands, err := par.Map(context.Background(), opts.Workers, len(dags),
-		func(_ context.Context, k int) (candidate, error) {
+	cands, err := par.Map(trace.ContextWithScope(context.Background(), opts.Trace),
+		opts.Workers, len(dags),
+		func(ctx context.Context, k int) (candidate, error) {
+			dsp := trace.FromContext(ctx).Start("synth.dag").Int("dag", int64(k))
+			dctx := trace.ContextWithScope(ctx, trace.FromContext(ctx).Under(dsp))
 			sk := sketch.FromDAG(dags[k])
 			if !opts.SkipGNT {
-				sk = pruneNonLNT(sk, data, opts.Alpha, lnt)
+				sk = pruneNonLNT(dctx, sk, data, opts.Alpha, lnt)
 			}
-			prog := FillProgram(rel, sk, fill, cache)
+			prog := FillProgramCtx(dctx, rel, sk, fill, cache)
 			// Static verification gate: a candidate whose fill is degenerate
 			// (contradictory branches, dead statements, out-of-domain
 			// literals) would silently weaken the runtime guardrail, so it
 			// is pruned before it can win coverage scoring.
 			if fs := verify.Program(prog, rel); verify.HasErrors(fs) {
+				dsp.Bool("pruned", true).End()
 				return candidate{pruned: true}, nil
 			}
 			c := candidate{prog: prog}
 			if !opts.NoDedup {
 				c.canon, c.calls = analysis.Canon(prog, dom)
 			}
+			dsp.Int("stmts", int64(len(prog.Stmts))).End()
 			return c, nil
 		})
 	if err != nil {
@@ -269,6 +296,7 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 		if !opts.NoDedup {
 			if seen[c.canon] {
 				sel.DedupedPrograms++
+				opts.Trace.EventInt("synth.dedup", "dag", int64(i))
 				continue
 			}
 			seen[c.canon] = true
@@ -277,9 +305,13 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 	}
 
 	// Coverage-score the unique representatives only.
-	covs, err := par.Map(context.Background(), opts.Workers, len(uniq),
-		func(_ context.Context, k int) (float64, error) {
-			return dsl.Coverage(cands[uniq[k]].prog, rel), nil
+	covs, err := par.Map(trace.ContextWithScope(context.Background(), opts.Trace),
+		opts.Workers, len(uniq),
+		func(ctx context.Context, k int) (float64, error) {
+			csp := trace.FromContext(ctx).Start("synth.coverage").Int("dag", int64(uniq[k]))
+			cov := dsl.Coverage(cands[uniq[k]].prog, rel)
+			csp.End()
+			return cov, nil
 		})
 	if err != nil {
 		return nil, err
@@ -313,10 +345,10 @@ func SelectProgram(rel *dataset.Relation, dags []*graph.DAG, data stats.Data, op
 // the LNT re-check guards against finite-sample artifacts.) Outcomes are
 // memoized in lnt: the same (GIVEN set, ON) pair recurs across the DAGs of
 // a MEC and its screen depends only on that pair.
-func pruneNonLNT(p sketch.Prog, d stats.Data, alpha float64, lnt *sketch.LNTCache) sketch.Prog {
+func pruneNonLNT(ctx context.Context, p sketch.Prog, d stats.Data, alpha float64, lnt *sketch.LNTCache) sketch.Prog {
 	var out sketch.Prog
 	for _, s := range p.Stmts {
-		ok, err := lnt.LNT(s, d, alpha)
+		ok, err := lnt.LNTCtx(ctx, s, d, alpha)
 		if err == nil && ok {
 			out.Stmts = append(out.Stmts, s)
 		}
