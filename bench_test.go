@@ -10,12 +10,18 @@
 package guardrail_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"github.com/guardrail-db/guardrail/internal/auxdist"
 	"github.com/guardrail-db/guardrail/internal/bn"
 	"github.com/guardrail-db/guardrail/internal/core"
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
+	"github.com/guardrail-db/guardrail/internal/errgen"
 	"github.com/guardrail-db/guardrail/internal/experiments"
 	"github.com/guardrail-db/guardrail/internal/graph"
 	"github.com/guardrail-db/guardrail/internal/ml"
@@ -177,8 +183,21 @@ func BenchmarkSynthesizeTraced(b *testing.B) {
 	}
 }
 
-func BenchmarkGuardCheckRow(b *testing.B) {
-	rel, err := bn.PostalChain(16).Sample(3000, 1)
+// --- guard-engine benches (DESIGN.md §13) ---
+//
+// Each bench runs the same guard on the AST interpreter and on the
+// compiled engine (internal/dsl/compile); the compiled/ast ns/op ratio is
+// the translation-validated speedup the compile pipeline buys. The dirty
+// relation carries injected errors so the violation paths stay hot.
+
+// benchGuardFixture synthesizes a postal-chain program and a lightly
+// corrupted relation for the engine benches. The 256-code chain yields
+// GIVEN-group statements with hundreds of branches — the dictionary-scale
+// regime the decision-table dispatch is built for; the interpreter scans
+// half the branch list per statement on an average row.
+func benchGuardFixture(b *testing.B) (*dsl.Program, *dataset.Relation) {
+	b.Helper()
+	rel, err := bn.PostalChain(256).Sample(6000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -186,11 +205,76 @@ func BenchmarkGuardCheckRow(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	guard := core.NewGuard(res.Program, core.Ignore)
+	dirty := rel.Clone()
+	if _, err := errgen.Inject(dirty, errgen.Options{Rate: 0.01, MinErrors: 20, Seed: 2}); err != nil {
+		b.Fatal(err)
+	}
+	return res.Program, dirty
+}
+
+// benchGuardEngines runs fn once per engine under a sub-bench.
+func benchGuardEngines(b *testing.B, prog *dsl.Program, strategy core.Strategy, fn func(b *testing.B, g *core.Guard)) {
+	b.Helper()
+	for _, engine := range []core.Engine{core.EngineAST, core.EngineCompiled} {
+		b.Run("engine="+engine.String(), func(b *testing.B) {
+			g := core.NewGuard(prog, strategy)
+			if engine == core.EngineCompiled {
+				if _, err := g.Compile(compile.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			fn(b, g)
+		})
+	}
+}
+
+func BenchmarkGuardCheckRow(b *testing.B) {
+	prog, rel := benchGuardFixture(b)
 	row := rel.Row(0, nil)
+	benchGuardEngines(b, prog, core.Ignore, func(b *testing.B, g *core.Guard) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.CheckRow(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGuardApply(b *testing.B) {
+	prog, rel := benchGuardFixture(b)
+	benchGuardEngines(b, prog, core.Ignore, func(b *testing.B, g *core.Guard) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Apply(rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGuardStreamCSV(b *testing.B) {
+	prog, rel := benchGuardFixture(b)
+	var src bytes.Buffer
+	if err := rel.ToCSV(&src); err != nil {
+		b.Fatal(err)
+	}
+	benchGuardEngines(b, prog, core.Ignore, func(b *testing.B, g *core.Guard) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.StreamCSV(bytes.NewReader(src.Bytes()), io.Discard, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGuardCompile prices the compilation itself — the one-time cost
+// the per-row speedup amortizes.
+func BenchmarkGuardCompile(b *testing.B) {
+	prog, _ := benchGuardFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := guard.CheckRow(row); err != nil {
+		if _, _, err := compile.Compile(prog, compile.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/experiments"
 	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/obs/debug"
@@ -29,6 +30,7 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated Table 2 ids (default: all 12)")
 	fig7Dataset := flag.Int("fig7-dataset", 6, "dataset id for the fig7 epsilon sweep")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker-pool size; 1 forces the serial pipeline")
+	engine := flag.String("engine", "ast", "guard execution backend for every experiment: ast|compiled")
 	report := flag.String("report", "", "write a JSON run-report (counters + stage timings) to this path")
 	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics, Prometheus /metrics and pprof on this address (e.g. localhost:6060)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable) to this path")
@@ -58,7 +60,12 @@ func main() {
 		tr = trace.New(w)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers, Obs: reg, Trace: tr.Root()}
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Epsilon: *eps, Workers: *workers, Obs: reg, Trace: tr.Root(), Engine: eng}
 	if *datasets != "" {
 		for _, part := range strings.Split(*datasets, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))

@@ -29,6 +29,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
 	"github.com/guardrail-db/guardrail/internal/dsl/analysis"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
 )
 
@@ -300,6 +301,7 @@ func cmdCheck(args []string, rectify bool) error {
 	prog := fs.String("prog", "", "constraint file from `guardrail synth` (required)")
 	out := fs.String("out", "", "rectified CSV output (rectify only)")
 	strategy := fs.String("strategy", "ignore", "raise|ignore|coerce|rectify")
+	engine := fs.String("engine", "compiled", "row-check engine: ast|compiled (compiled falls back to ast when translation validation fails)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -331,11 +333,29 @@ func cmdCheck(args []string, rectify bool) error {
 	if rectify {
 		command = "rectify"
 	}
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	reg, tr, finish, err := of.start(command, 1)
 	if err != nil {
 		return err
 	}
-	rep, err := core.NewGuard(program, strat).Instrument(reg).WithTrace(tr.Root(), 0).Apply(rel)
+	guard := core.NewGuard(program, strat).Instrument(reg).WithTrace(tr.Root(), 0)
+	if eng == core.EngineCompiled {
+		// Compile over the open universe — sound even for CSV values the
+		// training data never produced. A failed translation validation is
+		// not fatal: the AST interpreter computes the same reports.
+		if val, cerr := guard.Compile(compile.Options{Obs: reg, Trace: tr.Root()}); cerr != nil {
+			fmt.Fprintf(os.Stderr, "engine: ast (compiled unavailable: %v)\n", cerr)
+		} else {
+			fmt.Fprintln(os.Stderr, "engine: compiled")
+			fmt.Fprintln(os.Stderr, val.Summary())
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "engine: ast")
+	}
+	rep, err := guard.Apply(rel)
 	if err != nil {
 		return err
 	}

@@ -25,16 +25,22 @@
 // Usage:
 //
 //	go run ./cmd/vetguard ./...
+//	go run ./cmd/vetguard -json ./...
 //
-// Findings print as file:line:col: [check] message and make the process
-// exit 1. A finding can be suppressed with a `//vetguard:ignore` comment on
-// the same line or the line above. Only stdlib go/ast, go/parser and
-// go/types are used; package metadata and export data come from `go list`.
+// Findings print as file:line:col: [check] message — the shape the GitHub
+// Actions problem matcher in .github/vetguard-matcher.json annotates — and
+// make the process exit 1. Under -json the findings print instead as one
+// machine-readable JSON document on stdout with the same exit contract
+// (0 clean, 1 findings, 2 invocation failure). A finding can be suppressed
+// with a `//vetguard:ignore` comment on the same line or the line above.
+// Only stdlib go/ast, go/parser and go/types are used; package metadata
+// and export data come from `go list`.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -50,18 +56,55 @@ import (
 )
 
 func main() {
-	findings, err := analyze(os.Args[1:])
+	fs := flag.NewFlagSet("vetguard", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit findings as one JSON document on stdout")
+	_ = fs.Parse(os.Args[1:])
+	findings, err := analyze(fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetguard:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "vetguard:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "vetguard: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders findings as the -json document: a stable envelope CI
+// jobs can parse without scraping the text format.
+func writeJSON(w io.Writer, findings []Finding) error {
+	doc := struct {
+		Findings []jsonFinding `json:"findings"`
+		Count    int           `json:"count"`
+	}{Findings: []jsonFinding{}, Count: len(findings)}
+	for _, f := range findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Check: f.Check, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Finding is one lint diagnostic.

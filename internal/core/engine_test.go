@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
+)
+
+// compiledGuard builds a guard and switches it to the compiled engine,
+// failing the test if translation validation does not go through.
+func compiledGuard(t *testing.T, f *fixture, s Strategy) *Guard {
+	t.Helper()
+	g := NewGuard(f.prog, s)
+	if _, err := g.Compile(compile.Options{}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if g.Engine() != EngineCompiled {
+		t.Fatal("guard not on compiled engine after Compile")
+	}
+	return g
+}
+
+func TestEngineParseRoundTrip(t *testing.T) {
+	for _, e := range []Engine{EngineAST, EngineCompiled} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("round trip failed for %v: %v %v", e, got, err)
+		}
+	}
+	if _, err := ParseEngine("jit"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestEngineSwitches(t *testing.T) {
+	f := setup(t)
+	g := NewGuard(f.prog, Ignore)
+	if g.Engine() != EngineAST {
+		t.Fatal("new guard not on AST engine")
+	}
+	if g.UseCompiled() {
+		t.Fatal("UseCompiled succeeded before Compile")
+	}
+	if g.Validation() != nil {
+		t.Fatal("Validation non-nil before Compile")
+	}
+	if _, err := g.Compile(compile.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Validation() == nil || !g.Validation().AllProved() {
+		t.Fatal("missing or unproved validation record")
+	}
+	g.UseAST()
+	if g.Engine() != EngineAST {
+		t.Fatal("UseAST did not switch back")
+	}
+	if !g.UseCompiled() || g.Engine() != EngineCompiled {
+		t.Fatal("UseCompiled did not re-activate the compiled form")
+	}
+}
+
+// TestCompiledReportsByteIdentical drives Apply under every strategy on
+// both engines and requires identical Reports, identical relation contents
+// afterwards, and (under Raise) identical errors.
+func TestCompiledReportsByteIdentical(t *testing.T) {
+	f := setup(t)
+	for _, s := range []Strategy{Raise, Ignore, Coerce, Rectify} {
+		t.Run(s.String(), func(t *testing.T) {
+			astRel, compRel := f.dirty.Clone(), f.dirty.Clone()
+			astRep, astErr := NewGuard(f.prog, s).Apply(astRel)
+			compRep, compErr := compiledGuard(t, f, s).Apply(compRel)
+			if (astErr == nil) != (compErr == nil) {
+				t.Fatalf("error mismatch: ast %v, compiled %v", astErr, compErr)
+			}
+			if astErr != nil {
+				if astErr.Error() != compErr.Error() {
+					t.Fatalf("error text differs:\nast:      %v\ncompiled: %v", astErr, compErr)
+				}
+				if !errors.Is(compErr, ErrViolation) {
+					t.Fatal("compiled raise error does not wrap ErrViolation")
+				}
+			}
+			if !reflect.DeepEqual(astRep, compRep) {
+				t.Fatalf("reports differ:\nast:      %+v\ncompiled: %+v", astRep, compRep)
+			}
+			for i := 0; i < astRel.NumRows(); i++ {
+				for c := 0; c < astRel.NumAttrs(); c++ {
+					if astRel.Code(i, c) != compRel.Code(i, c) {
+						t.Fatalf("cell (%d,%d) differs: ast %d, compiled %d",
+							i, c, astRel.Code(i, c), compRel.Code(i, c))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledStreamByteIdentical requires StreamCSV to produce the same
+// bytes, stats, and errors on both engines, for every strategy.
+func TestCompiledStreamByteIdentical(t *testing.T) {
+	f := setup(t)
+	var src bytes.Buffer
+	if err := f.dirty.ToCSV(&src); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Raise, Ignore, Coerce, Rectify} {
+		t.Run(s.String(), func(t *testing.T) {
+			var astOut, compOut bytes.Buffer
+			astStats, astErr := NewGuard(f.prog, s).StreamCSV(bytes.NewReader(src.Bytes()), &astOut, f.dirty.Clone())
+			compStats, compErr := compiledGuard(t, f, s).StreamCSV(bytes.NewReader(src.Bytes()), &compOut, f.dirty.Clone())
+			if (astErr == nil) != (compErr == nil) {
+				t.Fatalf("error mismatch: ast %v, compiled %v", astErr, compErr)
+			}
+			if astErr != nil && astErr.Error() != compErr.Error() {
+				t.Fatalf("error text differs:\nast:      %v\ncompiled: %v", astErr, compErr)
+			}
+			if !reflect.DeepEqual(astStats, compStats) {
+				t.Fatalf("stats differ: ast %+v, compiled %+v", astStats, compStats)
+			}
+			if !bytes.Equal(astOut.Bytes(), compOut.Bytes()) {
+				t.Fatal("stream output differs between engines")
+			}
+		})
+	}
+}
+
+// TestCompiledCheckRowZeroAlloc pins the compiled hot path at zero
+// allocations per row: detection into the reused violation buffer plus
+// strategy application must not touch the heap (Raise is exercised on
+// clean rows only — its error construction allocates by design).
+func TestCompiledCheckRowZeroAlloc(t *testing.T) {
+	f := setup(t)
+	width := f.dirty.NumAttrs()
+	clean := f.clean.Row(0, nil)
+	var dirtyRow []int32
+	for i := 0; i < f.dirty.NumRows(); i++ {
+		if r := f.dirty.Row(i, nil); len(f.prog.Detect(r)) > 0 {
+			dirtyRow = r
+			break
+		}
+	}
+	if dirtyRow == nil {
+		t.Fatal("no violating row in the dirty split")
+	}
+	buf := make([]int32, width)
+	for _, tc := range []struct {
+		strategy Strategy
+		row      []int32
+	}{
+		{Ignore, dirtyRow}, {Coerce, dirtyRow}, {Rectify, dirtyRow},
+		{Ignore, clean}, {Raise, clean},
+	} {
+		g := compiledGuard(t, f, tc.strategy)
+		copy(buf, tc.row)
+		if _, err := g.CheckRow(buf); err != nil { // warm the violation buffer
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			copy(buf, tc.row)
+			_, _ = g.CheckRow(buf)
+		})
+		if allocs != 0 {
+			t.Errorf("%s on %s row: %.1f allocs/op, want 0",
+				tc.strategy, map[bool]string{true: "violating", false: "clean"}[len(f.prog.Detect(tc.row)) > 0], allocs)
+		}
+	}
+}
+
+// TestCompiledApplyAllocsFlat pins Apply's allocation count as independent
+// of relation size: the per-row loop reuses every buffer, so doubling the
+// rows must not add a single allocation.
+func TestCompiledApplyAllocsFlat(t *testing.T) {
+	f := setup(t)
+	small := f.dirty.SelectRows(seqInts(64))
+	big := f.dirty.SelectRows(seqInts(512))
+	measure := func(rel *dataset.Relation) float64 {
+		g := compiledGuard(t, f, Ignore)
+		return testing.AllocsPerRun(10, func() {
+			if _, err := g.Apply(rel); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if a, b := measure(small), measure(big); a != b {
+		t.Fatalf("Apply allocations scale with rows: %v at 64 rows, %v at 512", a, b)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

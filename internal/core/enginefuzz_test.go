@@ -1,0 +1,230 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
+)
+
+// TestExamplesSweepBothEngines parses every committed example program and
+// requires the two engines to produce identical reports and rectified
+// relations on the example data, under every strategy.
+func TestExamplesSweepBothEngines(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "constraints")
+	csv, err := os.Open(filepath.Join(dir, "postal.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer csv.Close()
+	base, err := dataset.FromCSV(csv, "postal.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := filepath.Glob(filepath.Join(dir, "*.gr"))
+	if err != nil || len(progs) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, path := range progs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := base.Clone()
+		prog, err := dsl.Parse(string(src), rel)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		cp, _, err := compile.Compile(prog, compile.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := compile.DifferentialCheck(prog, cp, rel); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, s := range []Strategy{Raise, Ignore, Coerce, Rectify} {
+			astRel, compRel := rel.Clone(), rel.Clone()
+			astRep, astErr := NewGuard(prog, s).Apply(astRel)
+			compGuard := NewGuard(prog, s)
+			if _, err := compGuard.Compile(compile.Options{}); err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			compRep, compErr := compGuard.Apply(compRel)
+			if (astErr == nil) != (compErr == nil) || (astErr != nil && astErr.Error() != compErr.Error()) {
+				t.Fatalf("%s %s: errors differ: %v vs %v", path, s, astErr, compErr)
+			}
+			if !reflect.DeepEqual(astRep, compRep) {
+				t.Fatalf("%s %s: reports differ: %+v vs %+v", path, s, astRep, compRep)
+			}
+			for i := 0; i < astRel.NumRows(); i++ {
+				for c := 0; c < astRel.NumAttrs(); c++ {
+					if astRel.Code(i, c) != compRel.Code(i, c) {
+						t.Fatalf("%s %s: cell (%d,%d) differs", path, s, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fuzzByteReader decodes a fuzz payload into small bounded integers.
+type fuzzByteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzByteReader) next(bound int) int {
+	if bound <= 0 {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.pos++
+		return r.pos % bound
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return int(b) % bound
+}
+
+const (
+	fuzzAttrs   = 4
+	fuzzCodes   = 5 // literal codes 0..4; rows also carry Missing and grown codes
+	fuzzMaxRows = 12
+)
+
+// fuzzProgram decodes an arbitrary guard program over the fixed fuzz
+// schema: up to 4 statements, each with up to 4 branches of 1-2 atoms.
+// Every decoded program lies inside the compiler's input space, so a
+// Compile error is always a finding.
+func fuzzProgram(r *fuzzByteReader) *dsl.Program {
+	p := &dsl.Program{}
+	nStmts := 1 + r.next(4)
+	for s := 0; s < nStmts; s++ {
+		st := dsl.Statement{On: r.next(fuzzAttrs)}
+		nBranches := 1 + r.next(4)
+		for b := 0; b < nBranches; b++ {
+			br := dsl.Branch{Value: int32(r.next(fuzzCodes+1) - 1)} // Missing is assignable
+			nAtoms := 1 + r.next(2)
+			for a := 0; a < nAtoms; a++ {
+				br.Cond = append(br.Cond, dsl.Pred{
+					Attr:  r.next(fuzzAttrs),
+					Value: int32(r.next(fuzzCodes+1) - 1),
+				})
+			}
+			st.Branches = append(st.Branches, br)
+		}
+		seen := map[int]bool{}
+		for _, b := range st.Branches {
+			for _, pr := range b.Cond {
+				if !seen[pr.Attr] {
+					seen[pr.Attr] = true
+					st.Given = append(st.Given, pr.Attr)
+				}
+			}
+		}
+		p.Stmts = append(p.Stmts, st)
+	}
+	return p
+}
+
+// fuzzRows decodes the row set the engines are compared on. Codes range
+// over [-1, fuzzCodes+2], deliberately exceeding every program literal to
+// model values interned after compilation.
+func fuzzRows(r *fuzzByteReader) [][]int32 {
+	n := 1 + r.next(fuzzMaxRows)
+	rows := make([][]int32, n)
+	for i := range rows {
+		row := make([]int32, fuzzAttrs)
+		for a := range row {
+			row[a] = int32(r.next(fuzzCodes+4) - 1)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// FuzzCompiledEngine is the differential fuzz harness of the compiled
+// engine: arbitrary programs × arbitrary rows × all four strategies, with
+// the AST interpreter as the oracle. The engines must agree on flagged
+// verdicts, error presence and text, and every mutated cell. Seeds include
+// the committed example corpus so realistic GIVEN-group shapes are always
+// in the initial population.
+func FuzzCompiledEngine(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 0, 0, 1, 1, 1, 3, 2, 2, 9, 0, 0})
+	f.Add([]byte{3, 0, 1, 0, 0, 2, 1, 0, 0, 1, 0, 0, 2, 2, 2, 255, 7})
+	for _, name := range []string{"postal.gr", "shadowed.gr", "postal.csv"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "examples", "constraints", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzByteReader{data: data}
+		prog := fuzzProgram(r)
+		rows := fuzzRows(r)
+
+		cp, val, err := compile.Compile(prog, compile.Options{})
+		if err != nil {
+			t.Fatalf("in-space program failed to compile: %v\nprogram: %+v", err, prog)
+		}
+		if !val.AllProved() {
+			t.Fatalf("unproved obligations on %+v", prog)
+		}
+
+		for _, s := range []Strategy{Raise, Ignore, Coerce, Rectify} {
+			astGuard := NewGuard(prog, s)
+			compGuard := NewGuard(prog, s)
+			if _, err := compGuard.Compile(compile.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			for ri, row := range rows {
+				astRow := append([]int32(nil), row...)
+				compRow := append([]int32(nil), row...)
+				astVs, astErr := astGuard.CheckRow(astRow)
+				compVs, compErr := compGuard.CheckRow(compRow)
+				if (len(astVs) > 0) != (len(compVs) > 0) {
+					t.Fatalf("strategy %s row %d %v: flagged mismatch (ast %d vs compiled %d)\nprogram: %+v",
+						s, ri, row, len(astVs), len(compVs), prog)
+				}
+				if (astErr == nil) != (compErr == nil) {
+					t.Fatalf("strategy %s row %d %v: error mismatch (%v vs %v)\nprogram: %+v",
+						s, ri, row, astErr, compErr, prog)
+				}
+				if astErr != nil && astErr.Error() != compErr.Error() {
+					t.Fatalf("strategy %s row %d: error text differs:\nast:      %v\ncompiled: %v",
+						s, ri, astErr, compErr)
+				}
+				for a := range astRow {
+					if astRow[a] != compRow[a] {
+						t.Fatalf("strategy %s row %d %v: cell %d differs after check (ast %d vs compiled %d)\nprogram: %+v",
+							s, ri, row, a, astRow[a], compRow[a], prog)
+					}
+				}
+			}
+		}
+		// One pass of the compile package's own oracle over the same rows,
+		// exercising Eval and the violation-subsequence contract as well.
+		rel := dataset.New("fuzz", []string{"a", "b", "c", "d"})
+		for range rows {
+			if err := rel.AppendRow([]string{"v0", "v0", "v0", "v0"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grow := rel.Clone()
+		for i, row := range rows {
+			for a, c := range row {
+				for int(c) >= grow.Cardinality(a) {
+					grow.Intern(a, string(rune('A'+grow.Cardinality(a))))
+				}
+				grow.SetCode(i, a, c)
+			}
+		}
+		if err := compile.DifferentialCheck(prog, cp, grow); err != nil {
+			t.Fatalf("%v\nprogram: %+v", err, prog)
+		}
+	})
+}

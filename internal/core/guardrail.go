@@ -10,10 +10,45 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
 	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/synth"
 )
+
+// Engine selects the row-check execution backend.
+type Engine int
+
+const (
+	// EngineAST walks the DSL syntax tree per row — the reference
+	// interpreter and the differential-testing oracle.
+	EngineAST Engine = iota
+	// EngineCompiled runs the translation-validated form produced by
+	// internal/dsl/compile: pruned statements, hoisted guards, and
+	// perfect-hashed branch dispatch. Behaviorally identical to EngineAST
+	// on every observable (reports, streams, errors) — Compile refuses to
+	// activate it otherwise.
+	EngineCompiled
+)
+
+// String names the engine as the CLI -engine flag spells it.
+func (e Engine) String() string {
+	if e == EngineCompiled {
+		return "compiled"
+	}
+	return "ast"
+}
+
+// ParseEngine converts an engine name to its value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "ast":
+		return EngineAST, nil
+	case "compiled":
+		return EngineCompiled, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q", s)
+}
 
 // Strategy selects how the guard handles a row that violates constraints.
 type Strategy int
@@ -86,6 +121,13 @@ type Guard struct {
 	// scope disables tracing entirely.
 	tr          trace.Scope
 	sampleEvery int
+
+	// engine/compiled select the execution backend; vbuf is the violation
+	// buffer the compiled hot path reuses across CheckRow calls.
+	engine   Engine
+	compiled *compile.Prog
+	cval     *compile.Validation
+	vbuf     []dsl.Violation
 }
 
 // guardMetrics holds the guard's pre-resolved counter handles; the zero
@@ -143,11 +185,60 @@ func (g *Guard) Program() *dsl.Program { return g.prog }
 // Strategy returns the guard's error-handling strategy.
 func (g *Guard) Strategy() Strategy { return g.strategy }
 
+// Engine returns the active execution backend.
+func (g *Guard) Engine() Engine { return g.engine }
+
+// Validation returns the translation-validation record of the active
+// compiled engine, or nil under EngineAST.
+func (g *Guard) Validation() *compile.Validation { return g.cval }
+
+// Compile lowers the guard's program through the internal/dsl/compile
+// pipeline and, on success, switches the hot path to the compiled engine.
+// On error the guard keeps running on the AST interpreter and the returned
+// Validation (non-nil when compilation got far enough to record proof
+// obligations) says which obligation failed. Compiling with opts.Domains
+// nil is always sound; pass bounded domains only for pinned relations
+// whose dictionaries will not grow (see compile.Options).
+func (g *Guard) Compile(opts compile.Options) (*compile.Validation, error) {
+	cp, val, err := compile.Compile(g.prog, opts)
+	if err != nil {
+		return val, err
+	}
+	g.compiled, g.cval, g.engine = cp, val, EngineCompiled
+	return val, nil
+}
+
+// UseAST switches the guard back to the AST interpreter, keeping any
+// compiled form around for a later re-switch via UseCompiled.
+func (g *Guard) UseAST() { g.engine = EngineAST }
+
+// UseCompiled re-activates a previously compiled engine; it reports false
+// when Compile has not succeeded on this guard.
+func (g *Guard) UseCompiled() bool {
+	if g.compiled == nil {
+		return false
+	}
+	g.engine = EngineCompiled
+	return true
+}
+
+// detect runs the active engine's detection. Under EngineCompiled the
+// returned slice aliases the guard's internal buffer and is valid only
+// until the next CheckRow — callers that retain violations must copy.
+func (g *Guard) detect(row []int32) []dsl.Violation {
+	if g.engine == EngineCompiled {
+		g.vbuf = g.compiled.DetectInto(row, g.vbuf[:0])
+		return g.vbuf
+	}
+	return g.prog.Detect(row)
+}
+
 // CheckRow applies the guard to one encoded row, possibly mutating it
 // (Coerce/Rectify). It reports the violations found; under Raise a non-nil
-// error wraps ErrViolation.
+// error wraps ErrViolation. Under EngineCompiled the returned slice is
+// reused by the next CheckRow call.
 func (g *Guard) CheckRow(row []int32) ([]dsl.Violation, error) {
-	vs := g.prog.Detect(row)
+	vs := g.detect(row)
 	if len(vs) == 0 {
 		return nil, nil
 	}
@@ -163,7 +254,11 @@ func (g *Guard) CheckRow(row []int32) ([]dsl.Violation, error) {
 		}
 		return vs, nil
 	case Rectify:
-		g.prog.Rectify(row)
+		if g.engine == EngineCompiled {
+			g.compiled.Rectify(row)
+		} else {
+			g.prog.Rectify(row)
+		}
 		return vs, nil
 	}
 	return vs, fmt.Errorf("core: unknown strategy %d", g.strategy)
@@ -186,7 +281,7 @@ type Report struct {
 // the violating one.
 func (g *Guard) Apply(rel *dataset.Relation) (*Report, error) {
 	n := rel.NumRows()
-	asp := g.tr.Start("guard.apply").Str("strategy", g.strategy.String()).Int("rows", int64(n))
+	asp := g.tr.Start("guard.apply").Str("strategy", g.strategy.String()).Str("engine", g.engine.String()).Int("rows", int64(n))
 	defer asp.End()
 	rsc := g.tr.Under(asp)
 	rep := &Report{Flagged: make([]bool, n)}

@@ -23,11 +23,12 @@ type StreamStats struct {
 // schema's attributes; unknown values intern into schema's dictionaries.
 // Under Raise, the first violating row aborts the stream.
 func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*StreamStats, error) {
-	ssp := g.tr.Start("stream.csv").Str("strategy", g.strategy.String())
+	ssp := g.tr.Start("stream.csv").Str("strategy", g.strategy.String()).Str("engine", g.engine.String())
 	defer ssp.End()
 	rsc := g.tr.Under(ssp)
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true // rec is consumed before the next Read
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 
@@ -62,6 +63,7 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 
 	stats := &StreamStats{}
 	row := make([]int32, schema.NumAttrs())
+	before := make([]int32, schema.NumAttrs())
 	out := make([]string, len(header))
 	for {
 		rec, err := cr.Read()
@@ -85,7 +87,7 @@ func (g *Guard) StreamCSV(r io.Reader, w io.Writer, schema *dataset.Relation) (*
 				row[colOf[i]] = schema.Intern(colOf[i], v)
 			}
 		}
-		before := append([]int32(nil), row...)
+		copy(before, row)
 		vs, err := g.CheckRow(row)
 		if len(vs) > 0 {
 			// Count the violation before a Raise abort: the row was

@@ -279,6 +279,20 @@ func guardsUpto(st dsl.Statement, k int) sat.DNF {
 	return g
 }
 
+// LiveMask marks each branch of st whose region (guard minus the union of
+// earlier guards) contains at least one row of s's universe. Exported for
+// the compiler's dead-branch pass, which must agree exactly with the
+// analyzer's notion of liveness.
+func LiveMask(s *sat.Solver, st dsl.Statement) []bool { return liveMask(s, st) }
+
+// StatementSubsumes reports a ⊒ b over s's universe: on every row where
+// some branch of b fires, some branch of a fires and assigns the same
+// value. Exported for the compiler's subsumption pass and its independent
+// re-proof during translation validation.
+func StatementSubsumes(s *sat.Solver, a, b dsl.Statement) bool {
+	return subsumes(s, a, liveMask(s, a), b, liveMask(s, b))
+}
+
 // liveMask marks each branch of st whose region (guard minus the union of
 // earlier guards) contains at least one universe row.
 func liveMask(s *sat.Solver, st dsl.Statement) []bool {

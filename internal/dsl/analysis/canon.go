@@ -76,6 +76,14 @@ func widen(dom sat.Domains, p *dsl.Program) sat.Domains {
 	return out
 }
 
+// Widen exposes the canonicalizer's universe widening: each bounded
+// attribute domain of dom is raised to cover every literal p mentions, so
+// any row the program can see — input or intermediate state — lies inside
+// the returned Domains. The compiler's translation validator shares this
+// universe so its equivalence proofs quantify over the same row set as
+// Canon.
+func Widen(dom sat.Domains, p *dsl.Program) sat.Domains { return widen(dom, p) }
+
 // Canon returns the canonical semantic form of p over the runtime row
 // universe derived from dom, plus the number of solver queries spent.
 // Equal canonical forms imply semantically equivalent programs; the

@@ -1,0 +1,281 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/smt/sat"
+)
+
+// prog builds a program from compact statement specs.
+func prog(stmts ...dsl.Statement) *dsl.Program { return &dsl.Program{Stmts: stmts} }
+
+func branch(value int32, atoms ...dsl.Pred) dsl.Branch {
+	return dsl.Branch{Cond: dsl.Condition(atoms), Value: value}
+}
+
+func at(attr int, value int32) dsl.Pred { return dsl.Pred{Attr: attr, Value: value} }
+
+// enumRelation materializes every row of a small grid universe (codes -1
+// .. card-1 per attribute) so differential checks are exhaustive.
+func enumRelation(t *testing.T, attrs int, card int32) *dataset.Relation {
+	t.Helper()
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	rel := dataset.New("enum", names)
+	// Intern codes 0..card-1 in order so code k is the string of k.
+	pad := make([]string, attrs)
+	for c := int32(0); c < card; c++ {
+		for i := range pad {
+			pad[i] = strings.Repeat("x", int(c)+1)
+		}
+		if err := rel.AppendRow(pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enumerate the full grid including Missing.
+	total := 1
+	for i := 0; i < attrs; i++ {
+		total *= int(card) + 1
+	}
+	codes := make([]int32, attrs)
+	for k := 0; k < total; k++ {
+		rem := k
+		for i := range codes {
+			codes[i] = int32(rem%(int(card)+1)) - 1
+			rem /= int(card) + 1
+		}
+		if err := rel.AppendCodes(codes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+func mustCompile(t *testing.T, p *dsl.Program, opts Options) (*Prog, *Validation) {
+	t.Helper()
+	cp, val, err := Compile(p, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !val.AllProved() {
+		t.Fatalf("unproved obligations: %s", val.firstUnproved())
+	}
+	return cp, val
+}
+
+func TestTableDispatchMatchesInterpreter(t *testing.T) {
+	// Two GIVEN-group statements: every branch binds the same determinant,
+	// so both should lower to dense tables.
+	p := prog(
+		dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+			branch(0, at(0, 0)), branch(1, at(0, 1)), branch(2, at(0, 2)),
+		}},
+		dsl.Statement{Given: []int{1}, On: 2, Branches: []dsl.Branch{
+			branch(1, at(1, 0)), branch(1, at(1, 1)), branch(0, at(1, 2)),
+		}},
+	)
+	cp, val := mustCompile(t, p, Options{})
+	dense, sparse, linear := cp.Layout()
+	if dense != 2 || sparse != 0 || linear != 0 {
+		t.Fatalf("layout = %d/%d/%d, want 2 dense", dense, sparse, linear)
+	}
+	if val.TableStmts != 2 || val.LinearStmts != 0 {
+		t.Fatalf("validation layout = %d table / %d linear", val.TableStmts, val.LinearStmts)
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseAndLinearFallbacks(t *testing.T) {
+	shared := []dsl.Branch{branch(0, at(0, 0)), branch(1, at(0, 1))}
+	p := prog(
+		// Forced sparse via a tiny dense limit.
+		dsl.Statement{Given: []int{0}, On: 1, Branches: shared},
+		// Mixed determinants: branches bind different attributes → linear.
+		dsl.Statement{Given: []int{0, 2}, On: 1, Branches: []dsl.Branch{
+			branch(0, at(0, 0)), branch(1, at(2, 1)),
+		}},
+	)
+	cp, val := mustCompile(t, p, Options{DenseTableLimit: 1})
+	dense, sparse, linear := cp.Layout()
+	if dense != 0 || sparse != 1 || linear != 1 {
+		t.Fatalf("layout = %d/%d/%d, want 0 dense, 1 sparse, 1 linear", dense, sparse, linear)
+	}
+	if val.LinearStmts != 1 {
+		t.Fatalf("LinearStmts = %d, want 1", val.LinearStmts)
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadBranchEliminationProved(t *testing.T) {
+	// Branch 1 binds the same determinant value as branch 0, so first-match
+	// semantics make it unreachable; branch 2 stays live.
+	p := prog(dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+		branch(5, at(0, 0)), branch(7, at(0, 0)), branch(3, at(0, 1)),
+	}})
+	cp, val := mustCompile(t, p, Options{})
+	if val.BranchesPruned != 1 {
+		t.Fatalf("BranchesPruned = %d, want 1", val.BranchesPruned)
+	}
+	if val.FingerprintBefore != val.FingerprintAfter {
+		t.Fatalf("fingerprint changed: %016x -> %016x", val.FingerprintBefore, val.FingerprintAfter)
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsumptionPrunesDuplicate(t *testing.T) {
+	st := dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+		branch(4, at(0, 0)), branch(5, at(0, 1)),
+	}}
+	p := prog(st, st) // identical statements: the second is redundant
+	cp, val := mustCompile(t, p, Options{})
+	if val.StmtsSubsumed != 1 {
+		t.Fatalf("StmtsSubsumed = %d, want 1", val.StmtsSubsumed)
+	}
+	if cp.NumStmts() != 1 || cp.SourceStmts() != 2 {
+		t.Fatalf("NumStmts = %d (src %d), want 1 (src 2)", cp.NumStmts(), cp.SourceStmts())
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterferenceBlocksSubsumptionPrune(t *testing.T) {
+	// Statements 0 and 2 are identical, so the solver happily proves
+	// subsumption — but statement 1 writes attribute 0, which both guards
+	// read. Sequentially, a row {a:0, b:1, c:0} only triggers statement 2
+	// *after* statement 1 rewrites a to 1; pruning statement 2 would leave
+	// c unrepaired. The non-interference side condition must refuse.
+	dup := dsl.Statement{Given: []int{0}, On: 2, Branches: []dsl.Branch{branch(5, at(0, 1))}}
+	p := prog(
+		dup,
+		dsl.Statement{Given: []int{1}, On: 0, Branches: []dsl.Branch{branch(1, at(1, 1))}},
+		dup,
+	)
+	cp, val := mustCompile(t, p, Options{})
+	if val.StmtsSubsumed != 0 {
+		t.Fatalf("interfering statement was pruned (StmtsSubsumed = %d)", val.StmtsSubsumed)
+	}
+	if cp.NumStmts() != 3 {
+		t.Fatalf("NumStmts = %d, want 3", cp.NumStmts())
+	}
+	// The witness row of the comment, checked explicitly on top of the
+	// exhaustive sweep.
+	row := []int32{0, 1, 0}
+	ast := append([]int32(nil), row...)
+	comp := append([]int32(nil), row...)
+	p.Rectify(ast)
+	cp.Rectify(comp)
+	if ast[2] != 5 || comp[2] != 5 {
+		t.Fatalf("Rectify: ast c=%d compiled c=%d, want 5", ast[2], comp[2])
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoistedGuardsStayEquivalent(t *testing.T) {
+	// Every branch shares the a=1 atom: it should hoist, leaving b as the
+	// dispatch determinant.
+	p := prog(dsl.Statement{Given: []int{0, 1}, On: 2, Branches: []dsl.Branch{
+		branch(0, at(0, 1), at(1, 0)),
+		branch(1, at(0, 1), at(1, 1)),
+		branch(2, at(0, 1), at(1, 2)),
+	}})
+	cp, val := mustCompile(t, p, Options{})
+	if val.AtomsHoisted != 3 {
+		t.Fatalf("AtomsHoisted = %d, want 3", val.AtomsHoisted)
+	}
+	if dense, _, _ := cp.Layout(); dense != 1 {
+		t.Fatalf("hoisted statement did not reach dense dispatch")
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrownCodesNeverMatchTables(t *testing.T) {
+	// Codes interned after compilation exceed every radix bound; dispatch
+	// must treat them as "no branch matches", exactly like the interpreter.
+	p := prog(dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+		branch(3, at(0, 0)), branch(4, at(0, 1)),
+	}})
+	cp, _ := mustCompile(t, p, Options{})
+	for _, code := range []int32{2, 99, 1 << 20, dataset.Missing} {
+		row := []int32{code, 0}
+		if got := p.Detect(row); len(got) != len(cp.DetectInto(row, nil)) {
+			t.Fatalf("code %d: engines disagree", code)
+		}
+		if len(cp.DetectInto(row, nil)) != 0 {
+			t.Fatalf("code %d: unexpected match", code)
+		}
+	}
+}
+
+func TestBoundedDomainsPruneMore(t *testing.T) {
+	// Under the closed universe {0,1} for attribute 0, the two branches
+	// cover every non-missing code... the third (value 7 literal) is
+	// outside the domain, hence unsatisfiable and dead.
+	p := prog(dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+		branch(3, at(0, 0)), branch(4, at(0, 1)), branch(5, at(0, 7)),
+	}})
+	dom := sat.Domains{0: 2, 1: 8}
+	cp, val := mustCompile(t, p, Options{Domains: dom})
+	if val.BranchesPruned != 0 {
+		// Widen extends the domain with the program's own literals, so the
+		// 7-branch stays satisfiable and live — document the behavior.
+		t.Fatalf("BranchesPruned = %d; widened domains must keep literal 7 alive", val.BranchesPruned)
+	}
+	if err := DifferentialCheck(p, cp, enumRelation(t, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildIRRejectsOutOfSpacePrograms(t *testing.T) {
+	cases := []*dsl.Program{
+		prog(dsl.Statement{On: -1, Branches: []dsl.Branch{branch(0)}}),
+		prog(dsl.Statement{On: 0, Branches: []dsl.Branch{branch(-2)}}),
+		prog(dsl.Statement{On: 0, Branches: []dsl.Branch{branch(0, dsl.Pred{Attr: -3, Value: 0})}}),
+		prog(dsl.Statement{On: 0, Branches: []dsl.Branch{branch(0, dsl.Pred{Attr: 1, Value: -9})}}),
+	}
+	for i, p := range cases {
+		if _, _, err := Compile(p, Options{}); err == nil {
+			t.Fatalf("case %d: out-of-space program compiled", i)
+		}
+	}
+}
+
+func TestValidationSummaryMentionsEverything(t *testing.T) {
+	p := prog(dsl.Statement{Given: []int{0}, On: 1, Branches: []dsl.Branch{
+		branch(0, at(0, 0)), branch(1, at(0, 1)),
+	}})
+	_, val := mustCompile(t, p, Options{})
+	s := val.Summary()
+	for _, want := range []string{"stmt(s) in", "obligation(s) proved", "canon fingerprint", "solver call"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMinWidthAndMissingRows(t *testing.T) {
+	p := prog(dsl.Statement{Given: []int{3}, On: 5, Branches: []dsl.Branch{branch(1, at(3, 0))}})
+	cp, _ := mustCompile(t, p, Options{})
+	if cp.MinWidth() != 6 {
+		t.Fatalf("MinWidth = %d, want 6", cp.MinWidth())
+	}
+	row := []int32{0, 0, 0, dataset.Missing, 0, dataset.Missing}
+	if vs := cp.DetectInto(row, nil); len(vs) != 0 {
+		t.Fatalf("missing determinant matched: %+v", vs)
+	}
+}

@@ -1,0 +1,187 @@
+// The analysis-pass pipeline: program-level rewrites that shrink the IR
+// before lowering. Every rewrite carries a proof obligation discharged by
+// an independent solver query (see validate.go); an unproved obligation
+// aborts the compilation rather than shipping a miscompiled guard.
+
+package compile
+
+import (
+	"fmt"
+
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/analysis"
+	"github.com/guardrail-db/guardrail/internal/smt/sat"
+)
+
+// passDeadBranches removes branches that can never fire — unsatisfiable
+// guards, or regions covered by the union of earlier guards (first match
+// wins) — and statements left with no live branch. The liveness judgment
+// is exactly analysis.LiveMask over the widened universe, and every
+// modified statement is re-proved equivalent to its original by a fresh
+// solver (subsumption in both directions, the Minimize idiom).
+func passDeadBranches(ir []irStmt, wdom sat.Domains, val *Validation) []irStmt {
+	s := sat.NewSolver(wdom)
+	proof := sat.NewSolver(wdom) // independent solver for the obligations
+	out := make([]irStmt, 0, len(ir))
+	for _, st := range ir {
+		full := st.asStatement()
+		live := analysis.LiveMask(s, full)
+		pruned := irStmt{orig: st.orig, on: st.on, given: st.given}
+		for bi, b := range st.branches {
+			if live[bi] {
+				pruned.branches = append(pruned.branches, b)
+			}
+		}
+		removed := len(st.branches) - len(pruned.branches)
+		if removed == 0 {
+			out = append(out, st)
+			continue
+		}
+		val.BranchesPruned += removed
+		prunedStmt := pruned.asStatement()
+		ok := analysis.StatementSubsumes(proof, full, prunedStmt) &&
+			analysis.StatementSubsumes(proof, prunedStmt, full)
+		val.record(Obligation{
+			Pass: "deadbranch", Stmt: st.orig, Kind: "stmt-equivalence", Proved: ok,
+			Detail: fmt.Sprintf("%d dead branch(es) removed, statement re-proved equivalent", removed),
+		})
+		if len(pruned.branches) == 0 {
+			val.StmtsPruned++
+			continue // a statement with no live branch never fires
+		}
+		out = append(out, pruned)
+	}
+	val.SolverCalls += s.Calls() + proof.Calls()
+	return out
+}
+
+// atomAttrs collects the set of attributes read by any guard atom of st.
+func atomAttrs(st irStmt, into map[int]bool) map[int]bool {
+	if into == nil {
+		into = make(map[int]bool)
+	}
+	for _, b := range st.branches {
+		for _, p := range b.atoms {
+			into[p.Attr] = true
+		}
+	}
+	return into
+}
+
+// passSubsumption prunes statement j when an earlier statement i provably
+// covers it. Soundness needs two facts:
+//
+//   - Subsumption (solver-proved): on every universe row where some branch
+//     of j fires, some branch of i fires and assigns the same value. This
+//     alone preserves Detect/Coerce/Raise observables — j's violation is
+//     always accompanied by i's identical one, and i precedes j so the
+//     first violation is unchanged.
+//
+//   - Non-interference (syntactic): sequential Rectify/Eval match each
+//     statement against the *mutated* row, so between i's turn and j's
+//     turn nothing may invalidate the subsumption argument. Statements
+//     write only their ON attribute; it therefore suffices that no
+//     statement k in [i, j) writes an attribute read by i's or j's guards
+//     (so i fires at its own turn exactly when it would fire at j's turn,
+//     leaving ON already holding j's value) and that no statement strictly
+//     between writes ON itself (so the value survives until j's turn,
+//     making j's assignment a no-op).
+//
+// Pruning commits one statement at a time against the current program, so
+// each proof's interference window contains only statements that still
+// execute.
+func passSubsumption(ir []irStmt, wdom sat.Domains, val *Validation) []irStmt {
+	s := sat.NewSolver(wdom)
+	proof := sat.NewSolver(wdom)
+	kept := append([]irStmt(nil), ir...)
+	for j := 0; j < len(kept); j++ {
+		for i := 0; i < j; i++ {
+			if kept[i].on != kept[j].on {
+				continue
+			}
+			if !nonInterfering(kept, i, j) {
+				continue
+			}
+			a, b := kept[i].asStatement(), kept[j].asStatement()
+			if !analysis.StatementSubsumes(s, a, b) {
+				continue
+			}
+			// Independent re-proof with a fresh solver plus a re-check of
+			// the interference window — the pass's decision is never its
+			// own evidence.
+			ok := analysis.StatementSubsumes(proof, a, b) && nonInterfering(kept, i, j)
+			val.record(Obligation{
+				Pass: "subsume", Stmt: kept[j].orig, Kind: "subsumption+non-interference", Proved: ok,
+				Detail: fmt.Sprintf("covered by statement %d; window [%d,%d) writes no read attribute", kept[i].orig, kept[i].orig, kept[j].orig),
+			})
+			val.StmtsSubsumed++
+			kept = append(kept[:j], kept[j+1:]...)
+			j--
+			break
+		}
+	}
+	val.SolverCalls += s.Calls() + proof.Calls()
+	return kept
+}
+
+// nonInterfering reports the syntactic side condition of passSubsumption
+// for the pair (i, j) within the current statement list: no statement in
+// [i, j) writes an attribute read by i's or j's guards, and no statement
+// strictly between writes the shared ON attribute.
+func nonInterfering(stmts []irStmt, i, j int) bool {
+	read := atomAttrs(stmts[i], nil)
+	read = atomAttrs(stmts[j], read)
+	for k := i; k < j; k++ {
+		if read[stmts[k].on] {
+			return false
+		}
+		if k > i && stmts[k].on == stmts[j].on {
+			return false
+		}
+	}
+	return true
+}
+
+// hoistCommon factors the atoms shared by every branch of st out of the
+// branch guards: the common prefix is checked once per row, and dispatch
+// runs over the residual atoms. Returns the common atoms and the residual
+// branches; the conjunction common ∧ residual_k equals branch k's guard
+// atom-for-atom, which validateFactoring re-proves with the solver.
+func hoistCommon(st irStmt) (common []dsl.Pred, residual []irBranch) {
+	if len(st.branches) == 0 {
+		return nil, nil
+	}
+	for _, atom := range st.branches[0].atoms {
+		inAll := true
+		for _, b := range st.branches[1:] {
+			if !hasAtom(b.atoms, atom) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			common = append(common, atom)
+		}
+	}
+	residual = make([]irBranch, len(st.branches))
+	for k, b := range st.branches {
+		res := make([]dsl.Pred, 0, len(b.atoms))
+		for _, atom := range b.atoms {
+			if !hasAtom(common, atom) {
+				res = append(res, atom)
+			}
+		}
+		residual[k] = irBranch{atoms: res, value: b.value}
+	}
+	return common, residual
+}
+
+// hasAtom reports whether atoms (sorted or not) contains exactly a.
+func hasAtom(atoms []dsl.Pred, a dsl.Pred) bool {
+	for _, p := range atoms {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Translation validation: the proof-obligation record every compilation
+// carries, and the row-level differential oracle that replays a relation
+// through both engines.
+
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+)
+
+// Obligation is one proof obligation a pass emitted and the independent
+// check that discharged (or failed to discharge) it.
+type Obligation struct {
+	Pass   string // "deadbranch", "subsume", "hoist", "dispatch"
+	Stmt   int    // source statement index, -1 for program-level obligations
+	Kind   string // e.g. "stmt-equivalence", "canon-fingerprint", "table-semantics"
+	Proved bool
+	Detail string
+}
+
+// Validation records everything a compilation proved and measured. A
+// caller holding a *Prog also holds the Validation that certifies it;
+// Compile refuses to return a Prog whose obligations are not all proved.
+type Validation struct {
+	Obligations []Obligation
+	SolverCalls int64
+
+	// Canon fingerprints over the shared widened universe, before any
+	// pass and after the last pruning pass.
+	FingerprintBefore uint64
+	FingerprintAfter  uint64
+
+	// Pipeline shape accounting.
+	StmtsIn, StmtsOut int
+	BranchesIn        int
+	BranchesOut       int
+	BranchesPruned    int
+	StmtsPruned       int // statements with no live branch
+	StmtsSubsumed     int // statements removed by passSubsumption
+	AtomsHoisted      int // atom occurrences removed from branch guards
+	TableStmts        int // statements lowered to dense or sparse tables
+	LinearStmts       int // statements on the first-match fallback
+}
+
+func (v *Validation) record(o Obligation) { v.Obligations = append(v.Obligations, o) }
+
+func (v *Validation) proved() int {
+	n := 0
+	for _, o := range v.Obligations {
+		if o.Proved {
+			n++
+		}
+	}
+	return n
+}
+
+// AllProved reports whether every recorded obligation was discharged.
+func (v *Validation) AllProved() bool { return v.proved() == len(v.Obligations) }
+
+func (v *Validation) firstUnproved() string {
+	for _, o := range v.Obligations {
+		if !o.Proved {
+			return fmt.Sprintf("pass %s stmt %d (%s): %s", o.Pass, o.Stmt, o.Kind, o.Detail)
+		}
+	}
+	return "all obligations proved"
+}
+
+// Summary renders the one-line-per-fact pass report the CLI prints on
+// stderr when -engine=compiled is selected.
+func (v *Validation) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compile: %d stmt(s) in, %d out (%d branch-dead, %d subsumed); %d branch(es) pruned, %d atom(s) hoisted\n",
+		v.StmtsIn, v.StmtsOut, v.StmtsPruned, v.StmtsSubsumed, v.BranchesPruned, v.AtomsHoisted)
+	fmt.Fprintf(&b, "compile: dispatch %d table / %d linear; %d/%d obligation(s) proved, %d solver call(s)\n",
+		v.TableStmts, v.LinearStmts, v.proved(), len(v.Obligations), v.SolverCalls)
+	fmt.Fprintf(&b, "compile: canon fingerprint %016x -> %016x", v.FingerprintBefore, v.FingerprintAfter)
+	return b.String()
+}
+
+// DifferentialCheck replays every row of rel through the AST interpreter
+// and the compiled engine and reports the first behavioral divergence:
+// flagged-row verdicts, the full violation list projected to surviving
+// statements plus first-violation identity (the Raise observable),
+// Rectify results, and Eval results. A nil error certifies rel as a
+// witness set on which the two engines are observationally identical.
+func DifferentialCheck(p *dsl.Program, cp *Prog, rel *dataset.Relation) error {
+	if rel.NumAttrs() < cp.MinWidth() {
+		return fmt.Errorf("compile: relation has %d attribute(s), program needs %d", rel.NumAttrs(), cp.MinWidth())
+	}
+	var row, crow []int32
+	var cbuf []dsl.Violation
+	for i := 0; i < rel.NumRows(); i++ {
+		row = rel.Row(i, row)
+
+		astVs := p.Detect(row)
+		cbuf = cp.DetectInto(row, cbuf[:0])
+		if (len(astVs) > 0) != (len(cbuf) > 0) {
+			return fmt.Errorf("compile: row %d: AST flags %d violation(s), compiled flags %d", i, len(astVs), len(cbuf))
+		}
+		if len(astVs) > 0 {
+			if astVs[0] != cbuf[0] {
+				return fmt.Errorf("compile: row %d: first violation differs: AST %+v, compiled %+v", i, astVs[0], cbuf[0])
+			}
+			ci := 0
+			for _, av := range astVs {
+				if ci < len(cbuf) && cbuf[ci] == av {
+					ci++
+				}
+			}
+			if ci != len(cbuf) {
+				return fmt.Errorf("compile: row %d: compiled violations are not a subsequence of AST violations", i)
+			}
+		}
+
+		astEval := p.Eval(row)
+		cEval := cp.Eval(row)
+		for a := range astEval {
+			if astEval[a] != cEval[a] {
+				return fmt.Errorf("compile: row %d: Eval differs at attribute %d: AST %d, compiled %d", i, a, astEval[a], cEval[a])
+			}
+		}
+
+		crow = append(crow[:0], row...)
+		astRow := append([]int32(nil), row...)
+		astN := p.Rectify(astRow)
+		cN := cp.Rectify(crow)
+		if astN != cN {
+			return fmt.Errorf("compile: row %d: Rectify changed %d cell(s) under AST, %d compiled", i, astN, cN)
+		}
+		for a := range astRow {
+			if astRow[a] != crow[a] {
+				return fmt.Errorf("compile: row %d: Rectify differs at attribute %d: AST %d, compiled %d", i, a, astRow[a], crow[a])
+			}
+		}
+	}
+	return nil
+}

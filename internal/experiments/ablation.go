@@ -42,7 +42,7 @@ func AblationGNT(cfg Config) (*GNTResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := core.NewGuard(res.Program, core.Ignore).Apply(p.dirty.Clone())
+			rep, err := cfg.newGuard(res.Program, core.Ignore).Apply(p.dirty.Clone())
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,8 @@ import (
 	"github.com/guardrail-db/guardrail/internal/bn"
 	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
 	"github.com/guardrail-db/guardrail/internal/errgen"
 	"github.com/guardrail-db/guardrail/internal/ml"
 	"github.com/guardrail-db/guardrail/internal/obs"
@@ -53,6 +55,23 @@ type Config struct {
 	// Trace parents every synthesis run's span tree; the zero scope
 	// disables tracing.
 	Trace trace.Scope
+	// Engine selects the guard execution backend for every guard an
+	// experiment builds. EngineCompiled lowers each synthesized program
+	// through internal/dsl/compile (open universe); a guard whose
+	// translation validation fails silently keeps the AST interpreter, so
+	// results are engine-independent by construction.
+	Engine core.Engine
+}
+
+// newGuard builds a guard for prog on the configured engine.
+func (c Config) newGuard(prog *dsl.Program, strategy core.Strategy) *core.Guard {
+	g := core.NewGuard(prog, strategy)
+	if c.Engine == core.EngineCompiled {
+		if _, err := g.Compile(compile.Options{Obs: c.Obs, Trace: c.Trace}); err != nil && c.Obs != nil {
+			c.Obs.Counter("experiments.guard_compile_failed").Inc()
+		}
+	}
+	return g
 }
 
 func (c Config) alphaOrDefault() float64 {

@@ -133,7 +133,7 @@ func Table3(cfg Config) (*Table3Result, error) {
 		if res, err := core.Synthesize(p.train, synthOptions(cfg, cfg.Seed+int64(spec.ID))); err != nil {
 			row.Guardrail = Table3Cell{Failed: true, Reason: err.Error()}
 		} else {
-			guard := core.NewGuard(res.Program, core.Ignore)
+			guard := cfg.newGuard(res.Program, core.Ignore)
 			rep, err := guard.Apply(p.dirty.Clone())
 			if err != nil {
 				row.Guardrail = Table3Cell{Failed: true, Reason: err.Error()}
@@ -295,7 +295,7 @@ func Table5(cfg Config) (*Table5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.NewGuard(res.Program, core.Ignore).Apply(dirty.Clone())
+		rep, err := cfg.newGuard(res.Program, core.Ignore).Apply(dirty.Clone())
 		if err != nil {
 			return nil, err
 		}

@@ -185,7 +185,7 @@ func Table6(cfg Config) (*Table6Result, error) {
 		}
 		env := &sqlexec.Env{
 			Models: map[string]ml.Model{p.train.Attr(p.label): model},
-			Guard:  core.NewGuard(res.Program, core.Rectify),
+			Guard:  cfg.newGuard(res.Program, core.Rectify),
 		}
 		row := Table6Row{ID: spec.ID}
 		for _, q := range datasetQueries(p) {
@@ -264,7 +264,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		}
 		label := p.train.Attr(p.label)
 		plain := &sqlexec.Env{Models: map[string]ml.Model{label: model}}
-		guarded := &sqlexec.Env{Models: plain.Models, Guard: core.NewGuard(res.Program, core.Rectify)}
+		guarded := &sqlexec.Env{Models: plain.Models, Guard: cfg.newGuard(res.Program, core.Rectify)}
 		for qi, q := range datasetQueries(p) {
 			truth, err := sqlexec.Exec(q, p.pristine, plain)
 			if err != nil {

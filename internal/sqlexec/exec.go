@@ -9,6 +9,7 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/core"
 	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/dsl/compile"
 	"github.com/guardrail-db/guardrail/internal/ml"
 	"github.com/guardrail-db/guardrail/internal/obs"
 	"github.com/guardrail-db/guardrail/internal/obs/trace"
@@ -65,6 +66,16 @@ type Env struct {
 	// bench); by default WHERE conjuncts that do not reference predictions
 	// are evaluated before any model call.
 	DisablePushdown bool
+	// DisableGuardJIT turns off the executor's scan-triggered guard
+	// compilation: by default a still-interpreted guard facing a scan of at
+	// least GuardJITRows rows is compiled (open universe, translation
+	// validated) before the per-row loop, amortizing the compile over the
+	// scan. Compilation failure is not an error — the guard keeps
+	// interpreting and sql.guard_jit_failed counts the fallback.
+	DisableGuardJIT bool
+	// GuardJITRows overrides the scan-size threshold for guard
+	// compilation; 0 selects the default of 1024 rows.
+	GuardJITRows int
 	// Obs receives sql.* counters and the sql.guard / sql.inference stage
 	// timings; nil disables instrumentation at zero cost.
 	Obs *obs.Registry
@@ -289,8 +300,23 @@ func (ex *executor) run(q *Query) (*Result, error) {
 	}
 	ssp.End()
 	if ex.env.Guard != nil {
+		// JIT: a big enough scan pays for compiling the guard once. Open
+		// universe (nil domains) keeps the compiled form sound for values
+		// the guard has never seen; on validation failure the interpreter
+		// keeps serving the scan.
+		jitRows := ex.env.GuardJITRows
+		if jitRows <= 0 {
+			jitRows = 1024
+		}
+		if !ex.env.DisableGuardJIT && n >= jitRows && ex.env.Guard.Engine() == core.EngineAST && !ex.env.Guard.UseCompiled() {
+			if _, err := ex.env.Guard.Compile(compile.Options{Obs: reg, Trace: tsc}); err != nil {
+				reg.Counter("sql.guard_jit_failed").Inc()
+			} else {
+				reg.Counter("sql.guard_jit").Inc()
+			}
+		}
 		t0 := time.Now()
-		gsp := tsc.Start("sql.guard")
+		gsp := tsc.Start("sql.guard").Str("engine", ex.env.Guard.Engine().String())
 		for i := range rows {
 			if _, err := ex.env.Guard.CheckRow(rows[i]); err != nil {
 				gsp.End()
