@@ -8,6 +8,7 @@
 //	guardrail show    -in data.csv
 //	guardrail analyze -in data.csv -prog constraints.gr
 //	guardrail lint    -in data.csv -prog constraints.gr
+//	guardrail serve   -addr :8080 -load mydata=data.csv,constraints.gr
 //
 // The static-analysis verbs `lint` and `analyze` use documented exit
 // codes so CI lanes can distinguish outcomes: 0 means the program is
@@ -70,7 +71,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return usageErr(fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint> [flags]"))
+		return usageErr(fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint|serve> [flags]"))
 	}
 	switch args[0] {
 	case "gen":
@@ -87,6 +88,8 @@ func run(args []string) error {
 		return cmdAnalyze(args[1:])
 	case "lint":
 		return cmdLint(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	default:
 		return usageErr(fmt.Errorf("unknown subcommand %q", args[0]))
 	}

@@ -60,10 +60,11 @@ func (c *checker) checkFunc(body *ast.BlockStmt) {
 // --- check: nakedgo ---
 
 // nakedGoExempt lists the packages allowed to use raw `go` statements:
-// the worker pool itself, and the debug HTTP server whose goroutine lives
-// for the whole process (http.Server owns its lifecycle, so routing it
-// through a par.Pool would add nothing).
-var nakedGoExempt = []string{"internal/par", "internal/obs/debug"}
+// the worker pool itself, and the two HTTP server packages (the debug
+// server and the validation daemon) whose goroutines live for the whole
+// process — http.Server owns its lifecycle, so routing it through a
+// par.Pool would add nothing.
+var nakedGoExempt = []string{"internal/par", "internal/obs/debug", "internal/serve"}
 
 // checkNakedGo flags `go` statements outside the exempt packages. All
 // pipeline concurrency must route through the worker pool: the pool is what

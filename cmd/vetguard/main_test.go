@@ -77,6 +77,19 @@ func TestDebugFixtureExempt(t *testing.T) {
 	}
 }
 
+// TestServeFixtureExempt: the validation daemon may launch its
+// process-lifetime http.Server goroutine without routing through the
+// pool.
+func TestServeFixtureExempt(t *testing.T) {
+	findings, err := analyze([]string{"./testdata/src/internal/serve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("internal/serve fixture should be exempt from nakedgo: %v", findings)
+	}
+}
+
 // TestRepositoryIsClean is the acceptance gate: the whole module must lint
 // clean, so CI's `go run ./cmd/vetguard ./...` exits 0.
 func TestRepositoryIsClean(t *testing.T) {

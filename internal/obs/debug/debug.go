@@ -7,6 +7,7 @@
 package debug
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -89,7 +90,24 @@ func (s *Server) serve() {
 	_ = s.srv.Serve(s.ln)
 }
 
-// Close stops the server and releases the listener.
+// closeTimeout bounds how long Close waits for in-flight requests. Debug
+// requests are short (a /metrics scrape, an expvar read) — anything still
+// running after this is a stuck pprof profile and gets force-closed.
+const closeTimeout = 2 * time.Second
+
+// Close stops the server: it drains in-flight requests for up to
+// closeTimeout, then force-closes any stragglers. The drain matters at
+// test teardown and CLI exit, where a /metrics scrape admitted just
+// before Close must be allowed to finish writing rather than racing the
+// listener teardown and getting its connection reset mid-body.
 func (s *Server) Close() error {
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		if cerr := s.srv.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return nil
 }

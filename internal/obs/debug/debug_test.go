@@ -3,9 +3,11 @@ package debug
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/guardrail-db/guardrail/internal/obs"
 )
@@ -114,5 +116,81 @@ func TestServeTwice(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("127.0.0.1:-1", obs.New()); err == nil {
 		t.Fatal("want error for invalid address")
+	}
+}
+
+// TestCloseDrainsInflightScrape: a /metrics scrape admitted before Close
+// must finish with a complete body rather than a reset connection —
+// Close drains via Shutdown instead of tearing the listener down under
+// the in-flight handler. The scrape handler is parked on a channel via
+// the test hook, so Close provably overlaps the request.
+func TestCloseDrainsInflightScrape(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("guard.ignore.rows_checked").Add(42)
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	testHookScrape = func() {
+		close(started)
+		<-release
+	}
+	defer func() { testHookScrape = nil }()
+
+	type scrape struct {
+		status int
+		body   string
+		err    error
+	}
+	scrapes := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr + "/metrics")
+		if err != nil {
+			scrapes <- scrape{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		cerr := resp.Body.Close()
+		if err == nil {
+			err = cerr
+		}
+		scrapes <- scrape{status: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-started // the scrape is in the handler
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close (graceful or not) shuts the listener first; wait until new
+	// dials are refused so the teardown provably started — only then let
+	// the parked handler write. A Close that tears down connections along
+	// with the listener has already reset the scrape at this point.
+	for {
+		conn, err := net.Dial("tcp", s.Addr)
+		if err != nil {
+			break
+		}
+		if err := conn.Close(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release) // let the handler write its response under the drain
+
+	if err := <-closed; err != nil {
+		t.Errorf("Close during in-flight scrape: %v", err)
+	}
+	got := <-scrapes
+	if got.err != nil {
+		t.Fatalf("in-flight scrape aborted by Close: %v", got.err)
+	}
+	if got.status != http.StatusOK {
+		t.Errorf("scrape status = %d", got.status)
+	}
+	if !strings.Contains(got.body, "guardrail_guard_ignore_rows_checked 42") {
+		t.Errorf("scrape body truncated or wrong:\n%s", got.body)
 	}
 }

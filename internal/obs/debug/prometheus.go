@@ -16,7 +16,15 @@ import (
 // can be scraped directly: counters and gauges map one-to-one, and each
 // stage histogram becomes a summary metric in seconds with
 // quantile-labelled samples plus _sum and _count.
+// testHookScrape, when non-nil, runs at the top of every /metrics scrape.
+// It lets the shutdown regression test hold a scrape in flight while
+// Close runs; production leaves it nil.
+var testHookScrape func()
+
 func metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	if h := testHookScrape; h != nil {
+		h()
+	}
 	published.mu.Lock()
 	reg := published.reg
 	published.mu.Unlock()

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+)
+
+// The codec encodes request rows against an entry's frozen schema without
+// interning. core.Guard.StreamCSV interns unseen values into its schema's
+// dictionaries, which is fine for a single-owner CLI pass but a data race
+// for concurrent requests sharing one Entry. Instead, a value absent from
+// the dictionary encodes to unknownCode(attr) — one past the last
+// interned code. That sentinel is sound for guard evaluation: conditions
+// only compare attributes against program literals (which are interned,
+// so their codes are strictly below it), a row binds one value per
+// attribute, and rows are independent — so "some out-of-dictionary
+// value" is all the engines ever need to know. The raw strings are kept
+// alongside so responses can decode those codes back to what the client
+// sent.
+
+// unknownCode is the out-of-dictionary sentinel for attribute attr.
+func unknownCode(schema *dataset.Relation, attr int) int32 {
+	return int32(schema.Cardinality(attr))
+}
+
+// encodeValue encodes one cell: "" is Missing, interned values keep their
+// code, anything else gets the out-of-dictionary sentinel.
+func encodeValue(schema *dataset.Relation, attr int, v string) int32 {
+	if v == "" {
+		return dataset.Missing
+	}
+	if c, ok := schema.Dict(attr).Lookup(v); ok {
+		return c
+	}
+	return unknownCode(schema, attr)
+}
+
+// decodeCell renders a code back to its string value. raw is the value
+// the client originally sent for the attribute, which is what an
+// out-of-dictionary code decodes to; Missing decodes to "" (the CSV
+// round-trip form, matching StreamCSV output).
+func decodeCell(schema *dataset.Relation, attr int, code int32, raw string) string {
+	if code == dataset.Missing {
+		return ""
+	}
+	if int(code) < schema.Cardinality(attr) {
+		return schema.Dict(attr).Value(code)
+	}
+	return raw
+}
+
+// rowBuf holds one request row in both encoded and raw form, reused
+// across the rows of a streaming request.
+type rowBuf struct {
+	codes []int32
+	raw   []string
+}
+
+func newRowBuf(n int) *rowBuf {
+	return &rowBuf{codes: make([]int32, n), raw: make([]string, n)}
+}
+
+// setFromMap fills the buffer from a JSON object keyed by attribute name.
+// Absent attributes encode as Missing; unknown keys are an error so a
+// typo'd column name cannot silently pass validation.
+func (b *rowBuf) setFromMap(schema *dataset.Relation, m map[string]string) error {
+	for k := range m {
+		if schema.AttrIndex(k) < 0 {
+			return fmt.Errorf("unknown attribute %q", k)
+		}
+	}
+	for i := 0; i < schema.NumAttrs(); i++ {
+		v := m[schema.Attr(i)]
+		b.raw[i] = v
+		b.codes[i] = encodeValue(schema, i, v)
+	}
+	return nil
+}
+
+// setFromRecord fills the buffer from a CSV record whose column i maps to
+// schema attribute colOf[i].
+func (b *rowBuf) setFromRecord(schema *dataset.Relation, colOf []int, rec []string) {
+	for i, v := range rec {
+		a := colOf[i]
+		b.raw[a] = v
+		b.codes[a] = encodeValue(schema, a, v)
+	}
+}
+
+// decodeMap renders the (possibly rectified) codes as an attribute-keyed
+// map for JSON responses.
+func (b *rowBuf) decodeMap(schema *dataset.Relation) map[string]string {
+	out := make(map[string]string, len(b.codes))
+	for i, c := range b.codes {
+		out[schema.Attr(i)] = decodeCell(schema, i, c, b.raw[i])
+	}
+	return out
+}
+
+// mapHeader maps CSV header columns onto schema attributes, rejecting
+// unknown and duplicate names. Width match plus no-duplicates guarantees
+// every schema attribute is covered (same contract as core.StreamCSV).
+func mapHeader(schema *dataset.Relation, header []string) ([]int, error) {
+	if len(header) != schema.NumAttrs() {
+		return nil, fmt.Errorf("stream has %d columns, schema has %d", len(header), schema.NumAttrs())
+	}
+	colOf := make([]int, len(header))
+	seen := make([]bool, schema.NumAttrs())
+	for i, h := range header {
+		idx := schema.AttrIndex(h)
+		if idx < 0 {
+			return nil, fmt.Errorf("stream column %q not in schema", h)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("duplicate stream column %q", h)
+		}
+		seen[idx] = true
+		colOf[i] = idx
+	}
+	return colOf, nil
+}

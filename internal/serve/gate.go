@@ -1,0 +1,38 @@
+package serve
+
+// gate is the bounded-concurrency admission controller: a channel
+// pre-filled with slot indices. A request that cannot take a slot
+// immediately is rejected with 429 rather than queued — under overload
+// the daemon sheds load at the door instead of accumulating goroutines
+// and request state until memory or tail latency gives out.
+//
+// The slot index doubles as a trace-lane ticket: at most one in-flight
+// request holds a given slot, so writing that request's spans to lane
+// slot+1 preserves the tracer's single-writer-per-lane invariant.
+type gate struct {
+	slots chan int
+}
+
+func newGate(n int) *gate {
+	g := &gate{slots: make(chan int, n)}
+	for i := 0; i < n; i++ {
+		g.slots <- i
+	}
+	return g
+}
+
+// tryAcquire takes a slot without blocking; ok is false when the gate is
+// saturated.
+func (g *gate) tryAcquire() (slot int, ok bool) {
+	select {
+	case slot = <-g.slots:
+		return slot, true
+	default:
+		return 0, false
+	}
+}
+
+// release returns a slot taken by tryAcquire.
+func (g *gate) release(slot int) {
+	g.slots <- slot
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/dsl"
+	"github.com/guardrail-db/guardrail/internal/obs/debug"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
+)
+
+// fingerprintHeader echoes the program version a response was computed
+// with, so clients (and the hot-reload tests) can pin every verdict to
+// exactly one registered version.
+const fingerprintHeader = "X-Guardrail-Fingerprint"
+
+// engineHeader reports which execution backend served the request.
+const engineHeader = "X-Guardrail-Engine"
+
+// apiViolation is the wire form of one constraint violation, decoded to
+// schema names and string values.
+type apiViolation struct {
+	Stmt     int    `json:"stmt"`
+	Attr     string `json:"attr"`
+	Expected string `json:"expected"`
+	Actual   string `json:"actual"`
+}
+
+// verdict is one row's NDJSON result line.
+type verdict struct {
+	Row        int               `json:"row"`
+	Flagged    bool              `json:"flagged"`
+	Violations []apiViolation    `json:"violations"`
+	Changed    int               `json:"changed,omitempty"`
+	Values     map[string]string `json:"values,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// batchSummary is the final NDJSON line of a streaming response.
+type batchSummary struct {
+	Rows       int `json:"rows"`
+	Flagged    int `json:"flagged"`
+	Violations int `json:"violations"`
+	Changed    int `json:"changed"`
+}
+
+// singleResponse is the /v1/check and /v1/rectify single-row JSON body.
+type singleResponse struct {
+	Dataset     string            `json:"dataset"`
+	Fingerprint string            `json:"fingerprint"`
+	Engine      string            `json:"engine"`
+	Flagged     bool              `json:"flagged"`
+	Violations  []apiViolation    `json:"violations"`
+	Changed     int               `json:"changed,omitempty"`
+	Row         map[string]string `json:"row,omitempty"`
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the shared obs registry in Prometheus text
+// format on the service port itself, so the daemon is scrapeable without
+// a separate -debug-addr. Ungated: liveness probes and scrapes must keep
+// working while validation traffic saturates the gate.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	debug.WriteMetrics(w, s.cfg.Obs.Snapshot())
+}
+
+// resolveEntry picks the program for a validation request: the ?dataset
+// query parameter, or the sole registered program when unambiguous.
+func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		names := s.registry.Names()
+		if len(names) == 1 {
+			name = names[0]
+		} else {
+			s.metrics.errors.Inc()
+			writeJSONError(w, http.StatusBadRequest, "dataset parameter required (registered: %s)", strings.Join(names, ", "))
+			return nil, false
+		}
+	}
+	e, ok := s.registry.Get(name)
+	if !ok {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusNotFound, "no program registered for dataset %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+// handleValidate is the shared core of /v1/check and /v1/rectify. The
+// entry is resolved once and used for the whole request, so every row of
+// a batch is validated by the same program version even if a hot reload
+// lands mid-stream.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request, sc trace.Scope, rectify bool) {
+	e, ok := s.resolveEntry(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set(fingerprintHeader, e.FingerprintHex())
+	w.Header().Set(engineHeader, e.EngineName())
+	sc.EventStr("serve.program", "fingerprint", e.FingerprintHex())
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	switch ct {
+	case "application/x-ndjson", "application/ndjson", "application/jsonlines":
+		s.streamNDJSON(w, r, e, rectify)
+	case "text/csv":
+		s.streamCSV(w, r, e, rectify)
+	default:
+		s.singleJSON(w, r, e, rectify)
+	}
+}
+
+// singleJSON validates one row sent as a JSON object keyed by attribute
+// name. The body is size-limited by Config.MaxBody.
+func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	var row map[string]string
+	if err := json.NewDecoder(body).Decode(&row); err != nil {
+		s.metrics.errors.Inc()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "decoding row: %v", err)
+		return
+	}
+	buf := newRowBuf(e.Schema.NumAttrs())
+	if err := buf.setFromMap(e.Schema, row); err != nil {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vs := e.Detect(buf.codes, nil)
+	resp := singleResponse{
+		Dataset:     e.Name,
+		Fingerprint: e.FingerprintHex(),
+		Engine:      e.EngineName(),
+		Flagged:     len(vs) > 0,
+		Violations:  s.decodeViolations(e, vs, buf.raw),
+	}
+	s.metrics.rows.Inc()
+	if resp.Flagged {
+		s.metrics.flagged.Inc()
+	}
+	if rectify {
+		resp.Changed = e.RectifyRow(buf.codes)
+		s.metrics.cellsChanged.Add(int64(resp.Changed))
+		resp.Row = buf.decodeMap(e.Schema)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamNDJSON validates a newline-delimited stream of JSON row objects,
+// writing one verdict line per row and a final {"summary": ...} line.
+// Rows are processed in constant memory as they arrive; the body is not
+// size-limited.
+func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
+	// HTTP/1.x is half-duplex by default: after the first response write
+	// the server closes the request body, which would kill a batch whose
+	// rows aren't fully buffered before the first verdict flushes.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	dec := json.NewDecoder(r.Body)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	buf := newRowBuf(e.Schema.NumAttrs())
+	var vbuf []dsl.Violation
+	var sum batchSummary
+	for i := 0; ; i++ {
+		var row map[string]string
+		if err := dec.Decode(&row); err == io.EOF {
+			break
+		} else if err != nil {
+			s.metrics.errors.Inc()
+			_ = enc.Encode(verdict{Row: i, Violations: []apiViolation{}, Error: fmt.Sprintf("decoding row: %v", err)})
+			break
+		}
+		if err := buf.setFromMap(e.Schema, row); err != nil {
+			s.metrics.errors.Inc()
+			_ = enc.Encode(verdict{Row: i, Violations: []apiViolation{}, Error: err.Error()})
+			break
+		}
+		v := s.checkOne(e, buf, &vbuf, rectify, i)
+		if rectify {
+			v.Values = buf.decodeMap(e.Schema)
+		}
+		sum.Rows++
+		if v.Flagged {
+			sum.Flagged++
+		}
+		sum.Violations += len(v.Violations)
+		sum.Changed += v.Changed
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(struct {
+		Summary batchSummary `json:"summary"`
+	}{sum})
+}
+
+// streamCSV validates a CSV batch (header row first, columns in any
+// order covering the schema). Check responses are NDJSON verdict lines
+// like streamNDJSON; rectify responses are the repaired CSV — the
+// streaming twin of `guardrail rectify -out`.
+func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
+	_ = http.NewResponseController(w).EnableFullDuplex() // see streamNDJSON
+	cr := csv.NewReader(r.Body)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusBadRequest, "reading CSV header: %v", err)
+		return
+	}
+	header = append([]string(nil), header...) // ReuseRecord overwrites it
+	colOf, err := mapHeader(e.Schema, header)
+	if err != nil {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var cw *csv.Writer
+	var enc *json.Encoder
+	if rectify {
+		w.Header().Set("Content-Type", "text/csv")
+		cw = csv.NewWriter(w)
+		if err := cw.Write(header); err != nil {
+			return
+		}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = json.NewEncoder(w)
+	}
+	flusher, _ := w.(http.Flusher)
+
+	buf := newRowBuf(e.Schema.NumAttrs())
+	out := make([]string, len(header))
+	var vbuf []dsl.Violation
+	var sum batchSummary
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil || len(rec) != len(header) {
+			s.metrics.errors.Inc()
+			msg := fmt.Sprintf("row %d has %d fields, want %d", i, len(rec), len(header))
+			if err != nil {
+				msg = fmt.Sprintf("reading CSV row %d: %v", i, err)
+			}
+			if enc != nil {
+				_ = enc.Encode(verdict{Row: i, Violations: []apiViolation{}, Error: msg})
+			}
+			break
+		}
+		buf.setFromRecord(e.Schema, colOf, rec)
+		v := s.checkOne(e, buf, &vbuf, rectify, i)
+		sum.Rows++
+		if v.Flagged {
+			sum.Flagged++
+		}
+		sum.Violations += len(v.Violations)
+		sum.Changed += v.Changed
+		if rectify {
+			for c := range rec {
+				a := colOf[c]
+				out[c] = decodeCell(e.Schema, a, buf.codes[a], buf.raw[a])
+			}
+			if err := cw.Write(out); err != nil {
+				return
+			}
+		} else {
+			_ = enc.Encode(v)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	if rectify {
+		cw.Flush()
+		return
+	}
+	_ = enc.Encode(struct {
+		Summary batchSummary `json:"summary"`
+	}{sum})
+}
+
+// checkOne detects (and under rectify repairs) the row in buf, updating
+// the serve.* row counters.
+func (s *Server) checkOne(e *Entry, buf *rowBuf, vbuf *[]dsl.Violation, rectify bool, i int) verdict {
+	*vbuf = e.Detect(buf.codes, *vbuf)
+	v := verdict{Row: i, Flagged: len(*vbuf) > 0, Violations: s.decodeViolations(e, *vbuf, buf.raw)}
+	s.metrics.rows.Inc()
+	if v.Flagged {
+		s.metrics.flagged.Inc()
+	}
+	if rectify {
+		v.Changed = e.RectifyRow(buf.codes)
+		s.metrics.cellsChanged.Add(int64(v.Changed))
+	}
+	return v
+}
+
+// decodeViolations renders violations with schema attribute names and
+// string values. Expected values are always program literals (interned),
+// actual values fall back to the raw client string for codes outside the
+// dictionary.
+func (s *Server) decodeViolations(e *Entry, vs []dsl.Violation, raw []string) []apiViolation {
+	out := make([]apiViolation, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, apiViolation{
+			Stmt:     v.Stmt,
+			Attr:     e.Schema.Attr(v.Attr),
+			Expected: e.Schema.Dict(v.Attr).Value(v.Expected),
+			Actual:   decodeCell(e.Schema, v.Attr, v.Actual, raw[v.Attr]),
+		})
+	}
+	s.metrics.violations.Add(int64(len(vs)))
+	return out
+}
+
+// programInfo is the wire form of one registry entry.
+type programInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Engine      string `json:"engine"`
+	Statements  int    `json:"statements"`
+	Attrs       int    `json:"attrs"`
+	Version     int    `json:"version"`
+	LoadedAt    string `json:"loaded_at"`
+	CompileErr  string `json:"compile_error,omitempty"`
+}
+
+func infoOf(e *Entry) programInfo {
+	return programInfo{
+		Name:        e.Name,
+		Fingerprint: e.FingerprintHex(),
+		Engine:      e.EngineName(),
+		Statements:  len(e.Program.Stmts),
+		Attrs:       e.Schema.NumAttrs(),
+		Version:     e.Version,
+		LoadedAt:    e.LoadedAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+		CompileErr:  e.CompileErr,
+	}
+}
+
+func (s *Server) handleProgramList(w http.ResponseWriter, _ *http.Request, _ trace.Scope) {
+	entries := s.registry.Entries()
+	infos := make([]programInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, infoOf(e))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Programs []programInfo `json:"programs"`
+	}{infos})
+}
+
+func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request, _ trace.Scope) {
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusNotFound, "no program registered for dataset %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		programInfo
+		Program string   `json:"program"`
+		Schema  []string `json:"schema"`
+	}{infoOf(e), dsl.Format(e.Program, e.Schema), e.Schema.Attrs()})
+}
+
+// handleProgramPut hot-reloads a program: the body carries the schema CSV
+// and the program source, and the registry swap is atomic — requests
+// admitted before the swap finish on the version they resolved.
+func (s *Server) handleProgramPut(w http.ResponseWriter, r *http.Request, sc trace.Scope) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	var req struct {
+		SchemaCSV string `json:"schema_csv"`
+		Program   string `json:"program"`
+	}
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.metrics.errors.Inc()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "decoding program upload: %v", err)
+		return
+	}
+	if req.SchemaCSV == "" || req.Program == "" {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusBadRequest, "schema_csv and program are both required")
+		return
+	}
+	e, changed, err := s.registry.Load(name, []byte(req.SchemaCSV), []byte(req.Program))
+	if err != nil {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	sc.EventStr("serve.reload", "fingerprint", e.FingerprintHex())
+	w.Header().Set(fingerprintHeader, e.FingerprintHex())
+	writeJSON(w, http.StatusOK, struct {
+		programInfo
+		Changed bool `json:"changed"`
+	}{infoOf(e), changed})
+}
+
+func (s *Server) handleProgramDelete(w http.ResponseWriter, r *http.Request, _ trace.Scope) {
+	name := r.PathValue("name")
+	if !s.registry.Remove(name) {
+		s.metrics.errors.Inc()
+		writeJSONError(w, http.StatusNotFound, "no program registered for dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
+)
+
+// Config parameterizes a Server. The zero value of each field selects a
+// production-safe default.
+type Config struct {
+	// Registry holds the programs to serve. Required.
+	Registry *Registry
+	// MaxInflight caps concurrently-admitted validation requests; excess
+	// requests get 429. Default 64.
+	MaxInflight int
+	// MaxBody bounds single-row JSON and program-upload request bodies in
+	// bytes (streaming batch bodies are unbounded — they are processed
+	// row by row in constant memory). Default 1 MiB.
+	MaxBody int64
+	// DrainTimeout bounds how long Run waits for in-flight requests after
+	// its context is cancelled before force-closing. Default 10s.
+	DrainTimeout time.Duration
+	// Obs receives the serve.* metrics; nil disables instrumentation.
+	Obs *obs.Registry
+	// Tracer records one span per admitted request when non-nil. Each
+	// request's spans go to lane slot+1 (the admission slot is exclusive
+	// while the request is in flight, preserving single-writer lanes);
+	// slots beyond the tracer's lane count are served untraced.
+	Tracer *trace.Tracer
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return 64
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return 1 << 20
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 10 * time.Second
+}
+
+// serveMetrics holds the server's pre-resolved metric handles; nil
+// handles (from a nil registry) make every update a free no-op.
+type serveMetrics struct {
+	requests     *obs.Counter
+	rows         *obs.Counter
+	flagged      *obs.Counter
+	violations   *obs.Counter
+	cellsChanged *obs.Counter
+	rejected     *obs.Counter
+	errors       *obs.Counter
+	inflight     *obs.Gauge
+	histCheck    *obs.Histogram
+	histRectify  *obs.Histogram
+	histPrograms *obs.Histogram
+}
+
+// Server is the validation daemon: an http.Handler plus the lifecycle
+// that runs it with backpressure and graceful drain.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	gate     *gate
+	mux      *http.ServeMux
+	http     *http.Server
+	metrics  serveMetrics
+}
+
+// New builds a Server from cfg. The handler is ready immediately (tests
+// mount Handler() on httptest); Run adds the listener lifecycle.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry(cfg.Obs)
+	}
+	reg := cfg.Obs
+	s := &Server{
+		cfg:      cfg,
+		registry: cfg.Registry,
+		gate:     newGate(cfg.maxInflight()),
+		mux:      http.NewServeMux(),
+		metrics: serveMetrics{
+			requests:     reg.Counter("serve.requests"),
+			rows:         reg.Counter("serve.rows"),
+			flagged:      reg.Counter("serve.flagged"),
+			violations:   reg.Counter("serve.violations"),
+			cellsChanged: reg.Counter("serve.cells_changed"),
+			rejected:     reg.Counter("serve.rejected"),
+			errors:       reg.Counter("serve.errors"),
+			inflight:     reg.Gauge("serve.inflight"),
+			histCheck:    reg.Histogram("serve.request.check"),
+			histRectify:  reg.Histogram("serve.request.rectify"),
+			histPrograms: reg.Histogram("serve.request.programs"),
+		},
+	}
+	s.routes()
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the program registry the server validates against.
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("POST /v1/check", s.gated("check", s.metrics.histCheck,
+		func(w http.ResponseWriter, r *http.Request, sc trace.Scope) { s.handleValidate(w, r, sc, false) }))
+	s.mux.Handle("POST /v1/rectify", s.gated("rectify", s.metrics.histRectify,
+		func(w http.ResponseWriter, r *http.Request, sc trace.Scope) { s.handleValidate(w, r, sc, true) }))
+	s.mux.Handle("GET /v1/programs", s.gated("programs", s.metrics.histPrograms, s.handleProgramList))
+	s.mux.Handle("GET /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramGet))
+	s.mux.Handle("PUT /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramPut))
+	s.mux.Handle("POST /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramPut))
+	s.mux.Handle("DELETE /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramDelete))
+}
+
+// gated wraps a handler with the admission gate, the per-endpoint latency
+// histogram, and (when tracing) a per-request span on the slot's lane.
+func (s *Server) gated(endpoint string, hist *obs.Histogram, h func(http.ResponseWriter, *http.Request, trace.Scope)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slot, ok := s.gate.tryAcquire()
+		if !ok {
+			s.metrics.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+			return
+		}
+		defer s.gate.release(slot)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		s.metrics.requests.Inc()
+
+		sc := s.requestScope(slot)
+		sp := sc.Start("serve." + endpoint).Str("method", r.Method).Str("path", r.URL.Path)
+		defer sp.End()
+		t := hist.Start()
+		defer t.Stop()
+		h(w, r, sc.Under(sp))
+	})
+}
+
+// requestScope returns the trace scope for the request holding slot, or
+// the zero (disabled) scope when untraced.
+func (s *Server) requestScope(slot int) trace.Scope {
+	tr := s.cfg.Tracer
+	if tr == nil || slot+1 >= tr.NumLanes() {
+		return trace.Scope{}
+	}
+	return tr.Root().OnLane(tr.Lane(slot + 1))
+}
+
+// Run serves on ln until ctx is cancelled, then drains: the listener
+// closes, in-flight requests get up to DrainTimeout to finish, and only
+// then does Run return. A nil return means every admitted request
+// completed — the clean-drain contract the CI serve-e2e job asserts. An
+// exceeded drain deadline force-closes remaining connections and returns
+// an error.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }() // nakedgo-exempt package: the goroutine spans the server's lifetime
+
+	select {
+	case err := <-errc:
+		// The listener failed before shutdown was requested.
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	if err := s.http.Shutdown(sctx); err != nil {
+		_ = s.http.Close()
+		<-errc
+		return fmt.Errorf("serve: drain deadline exceeded: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
