@@ -3,6 +3,7 @@
 //
 //	guardrail gen     -dataset 2 -scale 0.1 -out data.csv
 //	guardrail synth   -in data.csv -eps 0.02 -out constraints.gr
+//	guardrail resynth -in stream.csv -window 500 -json
 //	guardrail check   -in dirty.csv -prog constraints.gr
 //	guardrail rectify -in dirty.csv -prog constraints.gr -out clean.csv
 //	guardrail show    -in data.csv
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/guardrail-db/guardrail/internal/bn"
 	"github.com/guardrail-db/guardrail/internal/core"
@@ -32,6 +34,7 @@ import (
 	"github.com/guardrail-db/guardrail/internal/dsl/analysis"
 	"github.com/guardrail-db/guardrail/internal/dsl/compile"
 	"github.com/guardrail-db/guardrail/internal/dsl/verify"
+	"github.com/guardrail-db/guardrail/internal/errgen"
 )
 
 // exitCode carries the documented process exit status for the
@@ -71,13 +74,15 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return usageErr(fmt.Errorf("usage: guardrail <gen|synth|check|rectify|show|analyze|lint|serve> [flags]"))
+		return usageErr(fmt.Errorf("usage: guardrail <gen|synth|resynth|check|rectify|show|analyze|lint|serve> [flags]"))
 	}
 	switch args[0] {
 	case "gen":
 		return cmdGen(args[1:])
 	case "synth":
 		return cmdSynth(args[1:])
+	case "resynth":
+		return cmdResynth(args[1:])
 	case "check":
 		return cmdCheck(args[1:], false)
 	case "rectify":
@@ -133,24 +138,64 @@ func writeCSV(rel *dataset.Relation, path string) error {
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	id := fs.Int("dataset", 2, "Table 2 dataset id (1-12)")
-	scale := fs.Float64("scale", 0.1, "row-count scale in (0,1]")
+	network := fs.String("network", "", "named network instead of -dataset: postal (the Example 3.1 PostalCode->City->State->Country chain)")
+	rows := fs.Int("rows", 3000, "row count for -network sampling")
+	codes := fs.Int("postal-codes", 6, "postal-code cardinality of -network postal")
+	scale := fs.Float64("scale", 0.1, "row-count scale in (0,1] for -dataset")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	out := fs.String("out", "data.csv", "output CSV path")
+	corruptCols := fs.String("corrupt-cols", "", "comma-separated attribute names to corrupt via errgen (empty: no corruption)")
+	corruptRate := fs.Float64("corrupt-rate", 0.05, "fraction of rows to corrupt when -corrupt-cols is set")
+	corruptRandom := fs.Float64("corrupt-random", 1.0, "probability a corrupted cell gets a fresh out-of-domain string")
+	corruptSeed := fs.Int64("corrupt-seed", 1, "corruption seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := bn.SpecByID(*id)
-	if err != nil {
-		return err
+	var rel *dataset.Relation
+	var name string
+	switch *network {
+	case "":
+		spec, err := bn.SpecByID(*id)
+		if err != nil {
+			return err
+		}
+		name = spec.Name
+		if rel, err = spec.Generate(*scale, *seed); err != nil {
+			return err
+		}
+	case "postal":
+		name = "postal"
+		var err error
+		if rel, err = bn.PostalChain(*codes).Sample(*rows, *seed); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("gen: unknown -network %q (want postal)", *network)
 	}
-	rel, err := spec.Generate(*scale, *seed)
-	if err != nil {
-		return err
+	if *corruptCols != "" {
+		var cols []int
+		for _, c := range strings.Split(*corruptCols, ",") {
+			idx := rel.AttrIndex(strings.TrimSpace(c))
+			if idx < 0 {
+				return fmt.Errorf("gen: -corrupt-cols names unknown attribute %q", c)
+			}
+			cols = append(cols, idx)
+		}
+		mask, err := errgen.Inject(rel, errgen.Options{
+			Rate:             *corruptRate,
+			RandomStringProb: *corruptRandom,
+			Columns:          cols,
+			Seed:             *corruptSeed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "corrupted %d cells in %s\n", len(mask.Cells), *corruptCols)
 	}
 	if err := writeCSV(rel, *out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d rows x %d attrs of %q to %s\n", rel.NumRows(), rel.NumAttrs(), spec.Name, *out)
+	fmt.Printf("wrote %d rows x %d attrs of %q to %s\n", rel.NumRows(), rel.NumAttrs(), name, *out)
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// genPostal writes a PostalChain CSV, optionally with a corrupted City
+// column, and returns its rows (without the header).
+func genPostal(t *testing.T, path string, corrupt bool) [][]string {
+	t.Helper()
+	args := []string{"gen", "-network", "postal", "-rows", "3000", "-seed", "11", "-out", path}
+	if corrupt {
+		args = append(args, "-corrupt-cols", "City", "-corrupt-rate", "1.0", "-corrupt-seed", "3")
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("gen postal: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs[1:]
+}
+
+// TestGenPostalNetwork: -network postal emits the 4-attribute chain and
+// -corrupt-cols rewrites the named column deterministically per seed.
+func TestGenPostalNetwork(t *testing.T) {
+	dir := t.TempDir()
+	clean := genPostal(t, filepath.Join(dir, "clean.csv"), false)
+	if len(clean) != 3000 || len(clean[0]) != 4 {
+		t.Fatalf("postal shape = %dx%d, want 3000x4", len(clean), len(clean[0]))
+	}
+	dirty := genPostal(t, filepath.Join(dir, "dirty.csv"), true)
+	same, changed := 0, 0
+	for i := range clean {
+		for c := range clean[i] {
+			if c == 1 { // City
+				if clean[i][c] != dirty[i][c] {
+					changed++
+				}
+				continue
+			}
+			if clean[i][c] != dirty[i][c] {
+				t.Fatalf("row %d col %d changed outside -corrupt-cols", i, c)
+			}
+			same++
+		}
+	}
+	if changed < 2000 {
+		t.Fatalf("only %d City cells corrupted at rate 1.0", changed)
+	}
+	if err := run([]string{"gen", "-network", "postal", "-corrupt-cols", "Nope", "-out", filepath.Join(dir, "x.csv")}); err == nil {
+		t.Fatal("unknown -corrupt-cols attribute accepted")
+	}
+	if err := run([]string{"gen", "-network", "bogus", "-out", filepath.Join(dir, "x.csv")}); err == nil {
+		t.Fatal("unknown -network accepted")
+	}
+}
+
+// TestResynthStationaryMatchesBatch is the CLI half of the drift e2e: a
+// stationary stream never re-synthesizes and lands on the exact program
+// (by semantic fingerprint) that batch synthesis computes on the same
+// file.
+func TestResynthStationaryMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "clean.csv")
+	genPostal(t, data, false)
+
+	var status synth.IncrStatus
+	out := captureStdout(t, func() {
+		if err := run([]string{"resynth", "-in", data, "-window", "500", "-windows", "4", "-json"}); err != nil {
+			t.Errorf("resynth: %v", err)
+		}
+	})
+	if err := json.Unmarshal([]byte(out), &status); err != nil {
+		t.Fatalf("resynth -json output is not JSON: %v\n%s", err, out)
+	}
+	if status.Rows != 3000 || status.Windows != 6 || !status.Synthesized {
+		t.Fatalf("resynth status = %+v", status)
+	}
+	if status.Triggers != 0 || status.Resyntheses != 0 || len(status.Events) != 0 {
+		t.Fatalf("stationary stream re-synthesized: %+v", status)
+	}
+
+	prog := filepath.Join(dir, "batch.gr")
+	if err := run([]string{"synth", "-in", data, "-identity-sampler", "-out", prog}); err != nil {
+		t.Fatalf("batch synth: %v", err)
+	}
+	aout := captureStdout(t, func() {
+		if err := run([]string{"analyze", "-in", data, "-prog", prog, "-json"}); err != nil {
+			t.Errorf("analyze: %v", err)
+		}
+	})
+	var rpt struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal([]byte(aout), &rpt); err != nil {
+		t.Fatal(err)
+	}
+	if status.Fingerprint != rpt.Fingerprint {
+		t.Fatalf("streamed fingerprint %s != batch %s", status.Fingerprint, rpt.Fingerprint)
+	}
+}
+
+// TestResynthShiftedStream: stitching a corrupted-City suffix onto a
+// clean prefix fires the drift trigger, and the change event names the
+// shifted column.
+func TestResynthShiftedStream(t *testing.T) {
+	dir := t.TempDir()
+	clean := genPostal(t, filepath.Join(dir, "clean.csv"), false)
+	dirty := genPostal(t, filepath.Join(dir, "dirty.csv"), true)
+
+	stream := filepath.Join(dir, "stream.csv")
+	var sb strings.Builder
+	sb.WriteString("PostalCode,City,State,Country\n")
+	w := csv.NewWriter(&sb)
+	for _, r := range clean[:1500] {
+		_ = w.Write(r)
+	}
+	for _, r := range dirty[1500:] {
+		_ = w.Write(r)
+	}
+	w.Flush()
+	if err := os.WriteFile(stream, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	progOut := filepath.Join(dir, "final.gr")
+	var status synth.IncrStatus
+	out := captureStdout(t, func() {
+		if err := run([]string{"resynth", "-in", stream, "-window", "500", "-windows", "4", "-json", "-out", progOut}); err != nil {
+			t.Errorf("resynth: %v", err)
+		}
+	})
+	if err := json.Unmarshal([]byte(out), &status); err != nil {
+		t.Fatalf("resynth -json output is not JSON: %v\n%s", err, out)
+	}
+	if status.Triggers == 0 || status.Resyntheses == 0 || len(status.Events) == 0 {
+		t.Fatalf("shifted stream did not trigger: %+v", status)
+	}
+	named := false
+	for _, ev := range status.Events {
+		for _, c := range ev.DriftedColumns {
+			if c == "City" {
+				named = true
+			}
+		}
+	}
+	if !named {
+		t.Fatalf("events do not name the shifted column: %+v", status.Events)
+	}
+	if _, err := os.Stat(progOut); err != nil {
+		t.Fatalf("final program missing: %v", err)
+	}
+}
+
+func TestResynthErrors(t *testing.T) {
+	if err := run([]string{"resynth"}); err == nil {
+		t.Fatal("resynth without -in accepted")
+	}
+	if err := run([]string{"resynth", "-in", "/nonexistent"}); err == nil {
+		t.Fatal("resynth with missing file accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A header-only stream never synthesizes, so -out has nothing to write.
+	if err := run([]string{"resynth", "-in", empty, "-window", "100", "-out", filepath.Join(dir, "p.gr")}); err == nil {
+		t.Fatal("resynth wrote a program from an unsynthesized stream")
+	}
+}

@@ -55,6 +55,10 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "max concurrently-admitted validation requests; excess gets 429")
 	maxBody := fs.Int64("max-body", 1<<20, "max single-row / program-upload body size in bytes")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	drift := fs.Bool("drift", false, "feed validated rows to the drift monitor (status on GET /v1/drift)")
+	driftWindow := fs.Int("drift-window", 256, "rows per drift window")
+	driftWindows := fs.Int("drift-windows", 8, "sliding ring capacity in windows")
+	driftAlpha := fs.Float64("drift-alpha", 1e-3, "per-variable drift p-value threshold")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,12 +92,18 @@ func cmdServe(args []string) error {
 		DrainTimeout: *drain,
 		Obs:          reg,
 		Tracer:       tr,
+		Drift: serve.DriftConfig{
+			Enabled:    *drift,
+			WindowRows: *driftWindow,
+			MaxWindows: *driftWindows,
+			Alpha:      *driftAlpha,
+		},
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", *addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "guardrail serve listening on http://%s (endpoints: /v1/check /v1/rectify /v1/programs /metrics /healthz)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "guardrail serve listening on http://%s (endpoints: /v1/check /v1/rectify /v1/programs /v1/drift /metrics /healthz)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -517,9 +517,13 @@ func rootIdent(e ast.Expr) *ast.Ident {
 
 // checkMapRange flags `for ... := range m` over a map when the iteration
 // appends to a slice that outlives the loop (without the slice being sorted
-// later in the function) or writes directly to an output stream: Go
-// randomizes map iteration order, so either sink makes the result differ
-// run to run.
+// later in the function), writes directly to an output stream, or
+// accumulates into a floating-point variable that outlives the loop: Go
+// randomizes map iteration order, so the first two sinks make the result
+// differ run to run, and the third makes it differ in the low bits —
+// float addition is not associative, so accumulation order changes the
+// rounding (the gFromStrata G² bug: p-values near the alpha threshold
+// flipped between runs).
 func (c *checker) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
 	t := c.info.TypeOf(rs.X)
 	if t == nil {
@@ -529,7 +533,7 @@ func (c *checker) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
 		return
 	}
 
-	var appendTargets []string
+	var appendTargets, floatTargets []string
 	var outputCall string
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -544,6 +548,9 @@ func (c *checker) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
 					continue // per-iteration accumulator; order cannot leak
 				}
 				appendTargets = append(appendTargets, types.ExprString(tgt))
+			}
+			if tgt := c.floatAccumTarget(n, rs.Body); tgt != "" {
+				floatTargets = append(floatTargets, tgt)
 			}
 		case *ast.CallExpr:
 			if outputCall == "" && c.isOutputCall(n) {
@@ -564,6 +571,37 @@ func (c *checker) checkMapRange(rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
 		c.report(rs.Pos(), "maprange",
 			"map iteration appends to %s in nondeterministic order and %s is never sorted afterwards", tgt, tgt)
 	}
+	for _, tgt := range floatTargets {
+		c.report(rs.Pos(), "maprange",
+			"map iteration accumulates into float %s in nondeterministic order; float addition is not associative, so the rounding differs run to run — iterate the keys in sorted order", tgt)
+	}
+}
+
+// floatAccumTarget returns the rendered target of a floating-point
+// compound accumulation (+=, -=, *=, /=) whose variable outlives the
+// loop body, or "". Integer accumulation commutes exactly and is fine in
+// any order; float accumulation picks up order-dependent rounding.
+func (c *checker) floatAccumTarget(n *ast.AssignStmt, body ast.Node) string {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	if len(n.Lhs) != 1 {
+		return ""
+	}
+	t := c.info.TypeOf(n.Lhs[0])
+	if t == nil {
+		return ""
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsFloat|types.IsComplex) == 0 {
+		return ""
+	}
+	if c.declaredWithin(n.Lhs[0], body) {
+		return ""
+	}
+	return types.ExprString(n.Lhs[0])
 }
 
 func (c *checker) isBuiltinAppend(call *ast.CallExpr) bool {
@@ -605,9 +643,9 @@ func (c *checker) isOutputCall(call *ast.CallExpr) bool {
 	return strings.HasPrefix(name, "Write") || name == "Print" || name == "Printf"
 }
 
-// sortedAfter reports whether a sort package call mentioning target appears
-// after the range statement within the enclosing function — the canonical
-// collect-then-sort idiom.
+// sortedAfter reports whether a sort or slices package sort call
+// mentioning target appears after the range statement within the
+// enclosing function — the canonical collect-then-sort idiom.
 func (c *checker) sortedAfter(target string, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(fnBody, func(n ast.Node) bool {
@@ -623,7 +661,16 @@ func (c *checker) sortedAfter(target string, rs *ast.RangeStmt, fnBody *ast.Bloc
 			return true
 		}
 		pkg, ok := c.info.Uses[selIdent(sel)].(*types.PkgName)
-		if !ok || pkg.Imported().Path() != "sort" {
+		if !ok {
+			return true
+		}
+		switch pkg.Imported().Path() {
+		case "sort":
+		case "slices":
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+				return true
+			}
+		default:
 			return true
 		}
 		for _, arg := range call.Args {

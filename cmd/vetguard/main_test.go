@@ -22,14 +22,23 @@ func TestBuggyFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := countByCheck(findings)
-	want := map[string]int{"maprange": 3, "globalrand": 2, "ignorederr": 1, "nakedgo": 2, "regcopy": 5, "spanleak": 3}
+	want := map[string]int{"maprange": 4, "globalrand": 2, "ignorederr": 1, "nakedgo": 2, "regcopy": 5, "spanleak": 3}
 	for check, n := range want {
 		if got[check] != n {
 			t.Errorf("%s: got %d findings, want %d\nall: %v", check, got[check], n, findings)
 		}
 	}
-	if total := len(findings); total != 16 {
-		t.Errorf("total findings = %d, want 16 (is the //vetguard:ignore annotation honored?)\n%v", total, findings)
+	if total := len(findings); total != 17 {
+		t.Errorf("total findings = %d, want 17 (is the //vetguard:ignore annotation honored?)\n%v", total, findings)
+	}
+	floatFlagged := false
+	for _, f := range findings {
+		if f.Check == "maprange" && strings.Contains(f.Message, "float") {
+			floatFlagged = true
+		}
+	}
+	if !floatFlagged {
+		t.Error("float accumulation over map iteration not flagged")
 	}
 	for _, f := range findings {
 		if !strings.Contains(f.Pos.Filename, "buggy") {

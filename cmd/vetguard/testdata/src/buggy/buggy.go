@@ -38,6 +38,17 @@ func (c *collector) MapRangeFieldAppend(m map[string]bool) {
 	}
 }
 
+// MapRangeFloatAccum sums floats in map iteration order: float addition
+// is not associative, so the rounding — and any comparison against a
+// nearby threshold — differs run to run (the G² strata bug).
+func MapRangeFloatAccum(m map[string]float64) float64 {
+	var g float64
+	for _, v := range m {
+		g += 2 * v
+	}
+	return g
+}
+
 // GlobalRand draws from the shared process-wide source.
 func GlobalRand() int {
 	return rand.Intn(10)

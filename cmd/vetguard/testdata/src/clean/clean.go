@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 
@@ -24,6 +25,16 @@ func SortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// SlicesSortedKeys exonerates via the slices package instead of sort.
+func SlicesSortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
 // SortedSlice exonerates via sort.Slice after the loop.
 func SortedSlice(m map[string]int) []int {
 	var vals []int
@@ -34,13 +45,45 @@ func SortedSlice(m map[string]int) []int {
 	return vals
 }
 
-// Sum accumulates order-insensitively.
+// Sum accumulates order-insensitively: integer addition commutes
+// exactly, so map order cannot leak.
 func Sum(m map[string]int) int {
 	total := 0
 	for _, v := range m {
 		total += v
 	}
 	return total
+}
+
+// SortedFloatSum is the deterministic form of float accumulation over a
+// map: collect the keys, sort them, then add in sorted order.
+func SortedFloatSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// PerIterationFloat accumulates into a float scoped to one iteration of
+// the map loop, so no cross-iteration order can leak.
+func PerIterationFloat(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var local float64
+		for _, v := range vs {
+			local += v
+		}
+		if local > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // PerIteration appends only to a slice scoped to one iteration.

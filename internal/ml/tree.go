@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
 )
@@ -117,6 +118,9 @@ func pure(col []int32, rows []int) bool {
 	return true
 }
 
+// entropyOf and splitEntropy accumulate over sorted keys: float addition
+// is not associative, so summing in map order would make entropies — and
+// near-tie split choices — differ run to run.
 func entropyOf(col []int32, rows []int) float64 {
 	counts := map[int32]int{}
 	for _, r := range rows {
@@ -124,8 +128,8 @@ func entropyOf(col []int32, rows []int) float64 {
 	}
 	n := float64(len(rows))
 	var h float64
-	for _, c := range counts {
-		p := float64(c) / n
+	for _, k := range sortedKeys(counts) {
+		p := float64(counts[k]) / n
 		h -= p * math.Log2(p)
 	}
 	return h
@@ -140,8 +144,18 @@ func splitEntropy(rel *dataset.Relation, label, attr int, rows []int) float64 {
 	n := float64(len(rows))
 	labelCol := rel.Column(label)
 	var h float64
-	for _, g := range groups {
+	for _, k := range sortedKeys(groups) {
+		g := groups[k]
 		h += float64(len(g)) / n * entropyOf(labelCol, g)
 	}
 	return h
+}
+
+func sortedKeys[V any](m map[int32]V) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }

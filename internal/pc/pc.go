@@ -65,28 +65,96 @@ type Result struct {
 	SepSets map[int64][]int
 	// Tests counts the independence tests performed.
 	Tests int
+	// SepsetSkips counts candidate separating sets a test rejected as
+	// malformed (GTest returned an error). Summed at the level barrier in
+	// edge order, so the count is a function of the data and options
+	// alone, never of the worker schedule.
+	SepsetSkips int
 }
 
-// Learn runs the PC algorithm over d.
+// Learn runs the PC algorithm over d's raw columns.
 func Learn(d stats.Data, opts Options) (*Result, error) {
+	return LearnFrom(stats.Tester(d), opts)
+}
+
+// LearnFrom runs the PC algorithm against any CI-test provider — raw
+// columns via stats.Tester, or merged windowed contingency tables via
+// internal/stats/incr, which is what makes incremental re-learning cost
+// O(window change) instead of O(data).
+func LearnFrom(t stats.CITester, opts Options) (*Result, error) {
+	return learn(t, nil, nil, opts)
+}
+
+// LearnWarm re-learns warm-started from a previous result: edges between
+// two clean variables keep their previous decision (present, or absent
+// with its recorded separating set), and only edges with at least one
+// dirty endpoint are re-decided from scratch. dirty[i] marks variable i
+// as having drifted statistics; len(dirty) must equal t.NumVars(), which
+// must match prev's variable count. A nil prev falls back to LearnFrom.
+//
+// Soundness: a CI decision i ⟂ j | S only reads the joint distribution
+// of {i, j} ∪ S. Conditioning candidates are drawn from the endpoints'
+// neighborhoods, so when neither endpoint is dirty and the statistics of
+// clean variables are unchanged, every test that decided the edge in the
+// previous run returns the same answer — re-running it is pure waste.
+// Edges with a dirty endpoint start from the complete-graph state and go
+// through the full level sweep, with conditioning candidates drawn from
+// the current (partially frozen) adjacency.
+func LearnWarm(t stats.CITester, prev *Result, dirty []bool, opts Options) (*Result, error) {
+	if prev == nil {
+		return LearnFrom(t, opts)
+	}
+	if len(dirty) != t.NumVars() || prev.Skeleton == nil || prev.Skeleton.N() != t.NumVars() {
+		return nil, fmt.Errorf("pc: warm start shape mismatch: %d vars, %d dirty flags, prev %v",
+			t.NumVars(), len(dirty), prev.Skeleton != nil)
+	}
+	return learn(t, prev, dirty, opts)
+}
+
+// learn is the shared PC core. With prev == nil it is plain stable-PC
+// from the complete graph; with prev and dirty it is the warm-started
+// variant described on LearnWarm.
+func learn(t stats.CITester, prev *Result, dirty []bool, opts Options) (*Result, error) {
 	opts.defaults()
 	span := opts.Obs.Histogram("pc.learn").Start()
 	defer span.Stop()
-	n := d.NumVars()
+	n := t.NumVars()
 	tsp := opts.Trace.Start("pc.learn").Int("vars", int64(n))
 	defer tsp.End()
 	lsc := opts.Trace.Under(tsp)
 	if n == 0 {
 		return nil, fmt.Errorf("pc: no variables")
 	}
+	eligible := func(i, j int) bool { return true }
 	skel := graph.NewPDAG(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			skel.AddUndirected(i, j)
+	sep := make(map[int64][]int)
+	if prev == nil {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				skel.AddUndirected(i, j)
+			}
+		}
+	} else {
+		eligible = func(i, j int) bool { return dirty[i] || dirty[j] }
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				switch {
+				case eligible(i, j):
+					// Dirty pair: forget the old decision, re-decide from
+					// the complete-graph state.
+					skel.AddUndirected(i, j)
+				case prev.Skeleton.HasUndirected(i, j):
+					skel.AddUndirected(i, j)
+				default:
+					if s, ok := prev.SepSets[graph.PairKey(i, j)]; ok {
+						sep[graph.PairKey(i, j)] = append([]int(nil), s...)
+					}
+				}
+			}
 		}
 	}
-	sep := make(map[int64][]int)
 	tests := 0
+	skips := 0
 
 	for level := 0; level <= opts.MaxCond; level++ {
 		// Collect the current adjacency before this level's deletions, as
@@ -99,7 +167,7 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 		var edges []edge
 		for i := 0; i < n; i++ {
 			for _, j := range adj[i] {
-				if j > i {
+				if j > i && eligible(i, j) {
 					edges = append(edges, edge{i, j})
 				}
 			}
@@ -113,7 +181,7 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 			func(ctx context.Context, k int) (edgeDecision, error) {
 				esp := trace.FromContext(ctx).Start("pc.edge").
 					Int("i", int64(edges[k].i)).Int("j", int64(edges[k].j))
-				dec := decideEdge(d, edges[k].i, edges[k].j, adj, level, opts)
+				dec := decideEdge(t, edges[k].i, edges[k].j, adj, level, opts)
 				esp.Int("tests", int64(dec.tests)).Bool("removed", dec.remove).End()
 				return dec, nil
 			})
@@ -126,6 +194,7 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 		removed := 0
 		for k, dec := range decisions {
 			tests += dec.tests
+			skips += dec.skips
 			if dec.remove {
 				skel.RemoveEdge(edges[k].i, edges[k].j)
 				sep[graph.PairKey(edges[k].i, edges[k].j)] = dec.sep
@@ -143,34 +212,41 @@ func Learn(d stats.Data, opts Options) (*Result, error) {
 	graph.MeekClose(cp)
 	opts.Obs.Counter("pc.ci_tests").Add(int64(tests))
 	opts.Obs.Counter("pc.edges_removed").Add(int64(len(sep)))
-	return &Result{CPDAG: cp, Skeleton: skel, SepSets: sep, Tests: tests}, nil
+	opts.Obs.Counter("pc.sepsets_skipped").Add(int64(skips))
+	return &Result{CPDAG: cp, Skeleton: skel, SepSets: sep, Tests: tests, SepsetSkips: skips}, nil
 }
 
 // edgeDecision is the outcome of one edge's CI sweep at one level: whether
-// the edge goes, the separating set that removed it, and how many tests it
-// took to decide.
+// the edge goes, the separating set that removed it, how many tests it
+// took to decide, and how many candidate sets were skipped as malformed.
 type edgeDecision struct {
 	remove bool
 	sep    []int
 	tests  int
+	skips  int
 }
 
 // decideEdge tests i ⟂ j | S for all size-level subsets S of each
 // endpoint's snapshot neighborhood; the first independence wins. It reads
-// the shared data and adjacency snapshot but mutates nothing, so the
+// the shared statistics and adjacency snapshot but mutates nothing, so the
 // per-level sweep can fan out across workers.
-func decideEdge(d stats.Data, i, j int, adj [][]int, level int, opts Options) edgeDecision {
+func decideEdge(t stats.CITester, i, j int, adj [][]int, level int, opts Options) edgeDecision {
 	dec := edgeDecision{}
 	for _, base := range [2][2]int{{i, j}, {j, i}} {
-		cands := filterCard(d, exclude(adj[base[0]], base[1]), opts.MaxCard)
+		cands := filterCard(t, exclude(adj[base[0]], base[1]), opts.MaxCard)
 		if len(cands) < level {
 			continue
 		}
 		forEachSubset(cands, level, func(s []int) bool {
 			dec.tests++
-			res, err := stats.GTest(d, i, j, s)
+			res, err := t.Test(i, j, s)
 			if err != nil {
-				return true // skip malformed set, keep searching
+				// A malformed separating set (a tester error) must not pass
+				// silently: it is counted per edge and surfaced through the
+				// pc.sepsets_skipped counter and Result.SepsetSkips so run
+				// reports show when the search space was quietly narrowed.
+				dec.skips++
+				return true // keep searching the remaining sets
 			}
 			if res.Independent(opts.Alpha) {
 				dec.remove = true
@@ -199,10 +275,10 @@ func exclude(xs []int, v int) []int {
 	return out
 }
 
-func filterCard(d stats.Data, xs []int, maxCard int) []int {
+func filterCard(t stats.CITester, xs []int, maxCard int) []int {
 	out := xs[:0:0]
 	for _, x := range xs {
-		if d.Card(x) <= maxCard {
+		if t.Card(x) <= maxCard {
 			out = append(out, x)
 		}
 	}

@@ -1,0 +1,158 @@
+package pc
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/guardrail-db/guardrail/internal/auxdist"
+	"github.com/guardrail-db/guardrail/internal/bn"
+	"github.com/guardrail-db/guardrail/internal/obs"
+	"github.com/guardrail-db/guardrail/internal/stats"
+)
+
+// flakyTester delegates to a real tester but rejects every conditioning
+// set of size failLevel as malformed, the way a corrupted sepset or a
+// stats-layer bug would.
+type flakyTester struct {
+	stats.CITester
+	failLevel int
+}
+
+func (f flakyTester) Test(x, y int, z []int) (stats.TestResult, error) {
+	if len(z) == f.failLevel {
+		return stats.TestResult{}, errors.New("malformed separating set")
+	}
+	return f.CITester.Test(x, y, z)
+}
+
+func TestMalformedSepsetsCounted(t *testing.T) {
+	rel, err := bn.Cancer().Sample(4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := flakyTester{CITester: stats.Tester(auxdist.Identity(rel)), failLevel: 1}
+
+	var counts []int
+	for _, workers := range []int{1, 4, 8} {
+		reg := obs.New()
+		res, err := LearnFrom(ct, Options{Workers: workers, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SepsetSkips == 0 {
+			t.Fatalf("workers=%d: malformed sets were skipped silently", workers)
+		}
+		if got := reg.Counter("pc.sepsets_skipped").Value(); got != int64(res.SepsetSkips) {
+			t.Fatalf("workers=%d: counter %d != result %d", workers, got, res.SepsetSkips)
+		}
+		counts = append(counts, res.SepsetSkips)
+	}
+	// Schedule independence: the count is merged at the level barrier in
+	// edge order, so it cannot depend on the worker schedule.
+	if counts[0] != counts[1] || counts[0] != counts[2] {
+		t.Fatalf("skip count depends on schedule: %v", counts)
+	}
+
+	// A healthy run records zero skips.
+	reg := obs.New()
+	res, err := LearnFrom(stats.Tester(auxdist.Identity(rel)), Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SepsetSkips != 0 || reg.Counter("pc.sepsets_skipped").Value() != 0 {
+		t.Fatalf("healthy run reported skips: %d", res.SepsetSkips)
+	}
+}
+
+func TestLearnWarmMatchesCold(t *testing.T) {
+	rel, err := bn.Cancer().Sample(6000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stats.Tester(auxdist.Identity(rel))
+	cold, err := LearnFrom(ct, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ct.NumVars()
+
+	// All-dirty warm start forgets everything: identical to cold.
+	allDirty := make([]bool, n)
+	for i := range allDirty {
+		allDirty[i] = true
+	}
+	warm, err := LearnWarm(ct, cold, allDirty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CPDAG.String() != cold.CPDAG.String() {
+		t.Fatalf("all-dirty warm start diverged:\nwarm %s\ncold %s", warm.CPDAG, cold.CPDAG)
+	}
+
+	// Nothing dirty: the previous structure survives untouched, with
+	// (nearly) zero tests spent.
+	frozen, err := LearnWarm(ct, cold, make([]bool, n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.CPDAG.String() != cold.CPDAG.String() {
+		t.Fatalf("clean warm start changed the CPDAG:\n%s\nvs\n%s", frozen.CPDAG, cold.CPDAG)
+	}
+	if frozen.Tests != 0 {
+		t.Fatalf("clean warm start ran %d tests", frozen.Tests)
+	}
+
+	// Unchanged data with a dirty subset: re-deciding only the dirty
+	// edges must reproduce the cold structure, with fewer tests.
+	partial := make([]bool, n)
+	partial[2] = true // "cancer", the hub of the network
+	pres, err := LearnWarm(ct, cold, partial, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.CPDAG.String() != cold.CPDAG.String() {
+		t.Fatalf("partial warm start diverged:\nwarm %s\ncold %s", pres.CPDAG, cold.CPDAG)
+	}
+	if pres.Tests >= cold.Tests {
+		t.Fatalf("warm start did not save tests: %d vs cold %d", pres.Tests, cold.Tests)
+	}
+
+	// Shape mismatches are rejected.
+	if _, err := LearnWarm(ct, cold, make([]bool, n+1), Options{}); err == nil {
+		t.Fatal("expected error on dirty-flag length mismatch")
+	}
+	// Nil prev is a plain cold start.
+	fromNil, err := LearnWarm(ct, nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromNil.CPDAG.String() != cold.CPDAG.String() {
+		t.Fatal("nil-prev warm start is not a cold start")
+	}
+}
+
+func TestLearnWarmDeterministicAcrossWorkers(t *testing.T) {
+	rel, err := bn.Cancer().Sample(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stats.Tester(auxdist.Identity(rel))
+	cold, err := LearnFrom(ct, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]bool, ct.NumVars())
+	dirty[0], dirty[3] = true, true
+	var ref string
+	for _, workers := range []int{1, 4, 8} {
+		res, err := LearnWarm(ct, cold, dirty, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == "" {
+			ref = res.CPDAG.String()
+		} else if res.CPDAG.String() != ref {
+			t.Fatalf("workers=%d: warm CPDAG diverged", workers)
+		}
+	}
+}

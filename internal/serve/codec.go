@@ -9,32 +9,17 @@ import (
 // The codec encodes request rows against an entry's frozen schema without
 // interning. core.Guard.StreamCSV interns unseen values into its schema's
 // dictionaries, which is fine for a single-owner CLI pass but a data race
-// for concurrent requests sharing one Entry. Instead, a value absent from
-// the dictionary encodes to unknownCode(attr) — one past the last
-// interned code. That sentinel is sound for guard evaluation: conditions
-// only compare attributes against program literals (which are interned,
-// so their codes are strictly below it), a row binds one value per
-// attribute, and rows are independent — so "some out-of-dictionary
-// value" is all the engines ever need to know. The raw strings are kept
-// alongside so responses can decode those codes back to what the client
-// sent.
-
-// unknownCode is the out-of-dictionary sentinel for attribute attr.
-func unknownCode(schema *dataset.Relation, attr int) int32 {
-	return int32(schema.Cardinality(attr))
-}
-
-// encodeValue encodes one cell: "" is Missing, interned values keep their
-// code, anything else gets the out-of-dictionary sentinel.
-func encodeValue(schema *dataset.Relation, attr int, v string) int32 {
-	if v == "" {
-		return dataset.Missing
-	}
-	if c, ok := schema.Dict(attr).Lookup(v); ok {
-		return c
-	}
-	return unknownCode(schema, attr)
-}
+// for concurrent requests sharing one Entry. Instead, values absent from
+// the dictionary get per-request codes starting at Cardinality(attr) —
+// one past the last interned code, a fresh code per distinct raw string.
+// Distinct codes matter: collapsing every unseen value onto one sentinel
+// made two different unseen strings equal under engine comparisons,
+// which a multi-row window or any future cross-attribute predicate could
+// observe. Grown codes are sound for guard evaluation: program literals
+// are interned, so their codes are strictly below Cardinality(attr), and
+// the compiled engine's dispatch short-circuits any code beyond its
+// compiled radix to no-match. The raw strings are kept alongside so
+// responses can decode grown codes back to what the client sent.
 
 // decodeCell renders a code back to its string value. raw is the value
 // the client originally sent for the attribute, which is what an
@@ -51,14 +36,43 @@ func decodeCell(schema *dataset.Relation, attr int, code int32, raw string) stri
 }
 
 // rowBuf holds one request row in both encoded and raw form, reused
-// across the rows of a streaming request.
+// across the rows of a streaming request. It also owns the request's
+// out-of-dictionary code assignments: the buffer is per-request, so the
+// grown codes never leak between requests or into the shared Entry.
 type rowBuf struct {
 	codes []int32
 	raw   []string
+	// unk maps each attribute's unseen raw strings to their per-request
+	// codes, allocated lazily; repeats of the same string across a
+	// streaming request reuse their code.
+	unk []map[string]int32
 }
 
 func newRowBuf(n int) *rowBuf {
-	return &rowBuf{codes: make([]int32, n), raw: make([]string, n)}
+	return &rowBuf{codes: make([]int32, n), raw: make([]string, n), unk: make([]map[string]int32, n)}
+}
+
+// encode encodes one cell: "" is Missing, interned values keep their
+// code, and each distinct unseen string gets the next code past the
+// frozen dictionary.
+func (b *rowBuf) encode(schema *dataset.Relation, attr int, v string) int32 {
+	if v == "" {
+		return dataset.Missing
+	}
+	if c, ok := schema.Dict(attr).Lookup(v); ok {
+		return c
+	}
+	m := b.unk[attr]
+	if m == nil {
+		m = make(map[string]int32, 1)
+		b.unk[attr] = m
+	}
+	if c, ok := m[v]; ok {
+		return c
+	}
+	c := int32(schema.Cardinality(attr) + len(m))
+	m[v] = c
+	return c
 }
 
 // setFromMap fills the buffer from a JSON object keyed by attribute name.
@@ -73,7 +87,7 @@ func (b *rowBuf) setFromMap(schema *dataset.Relation, m map[string]string) error
 	for i := 0; i < schema.NumAttrs(); i++ {
 		v := m[schema.Attr(i)]
 		b.raw[i] = v
-		b.codes[i] = encodeValue(schema, i, v)
+		b.codes[i] = b.encode(schema, i, v)
 	}
 	return nil
 }
@@ -84,7 +98,7 @@ func (b *rowBuf) setFromRecord(schema *dataset.Relation, colOf []int, rec []stri
 	for i, v := range rec {
 		a := colOf[i]
 		b.raw[a] = v
-		b.codes[a] = encodeValue(schema, a, v)
+		b.codes[a] = b.encode(schema, a, v)
 	}
 }
 

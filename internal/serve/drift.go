@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/guardrail-db/guardrail/internal/dataset"
+	"github.com/guardrail-db/guardrail/internal/obs/trace"
+	"github.com/guardrail-db/guardrail/internal/synth"
+)
+
+// DriftConfig configures the daemon's drift monitor: every validated row
+// also feeds a per-dataset synth.Incremental driver, so the live traffic
+// itself is the stream that windowed drift detection and warm-started
+// re-synthesis run on. The zero value disables monitoring.
+type DriftConfig struct {
+	// Enabled turns the monitor (and the /v1/drift endpoint's data) on.
+	Enabled bool
+	// WindowRows, MaxWindows, and Alpha tune the underlying incremental
+	// driver; zero selects the synth.IncrOptions defaults (256 rows,
+	// 8 windows, 1e-3).
+	WindowRows int
+	MaxWindows int
+	Alpha      float64
+}
+
+// driftMonitor owns one incremental synthesis driver per served dataset.
+// Incremental is not concurrency-safe, so a single mutex serializes all
+// observations; the request that happens to complete a window pays for
+// the window merge (and, on drift, the re-synthesis) inline. Monitors
+// reset when a hot reload changes the dataset's program, since drift is
+// measured against the statistics behind the *current* constraints.
+type driftMonitor struct {
+	cfg DriftConfig
+
+	mu  sync.Mutex
+	per map[string]*datasetDrift
+}
+
+type datasetDrift struct {
+	// fingerprint pins the program version this monitor's baseline was
+	// built under; a reload with a different fingerprint resets the state.
+	fingerprint string
+	inc         *synth.Incremental
+	lastErr     string
+}
+
+func newDriftMonitor(cfg DriftConfig) *driftMonitor {
+	return &driftMonitor{cfg: cfg, per: make(map[string]*datasetDrift)}
+}
+
+// observeDrift feeds one validated row (raw string values in schema
+// attribute order, "" for missing) to the drift monitor. A no-op when
+// monitoring is disabled.
+func (s *Server) observeDrift(e *Entry, raw []string) {
+	if s.drift == nil {
+		return
+	}
+	s.drift.observe(e, raw, s.cfg)
+}
+
+func (m *driftMonitor) observe(e *Entry, raw []string, cfg Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.per[e.Name]
+	if d == nil || d.fingerprint != e.FingerprintHex() {
+		// First observation, or the program changed under us: the monitor
+		// gets its own relation (fresh dictionaries — the served Entry's
+		// schema stays frozen) and starts a new baseline.
+		rel := dataset.New(e.Name, e.Schema.Attrs())
+		d = &datasetDrift{
+			fingerprint: e.FingerprintHex(),
+			inc: synth.NewIncremental(rel, synth.IncrOptions{
+				WindowRows: m.cfg.WindowRows,
+				MaxWindows: m.cfg.MaxWindows,
+				DriftAlpha: m.cfg.Alpha,
+				Synth:      synth.Options{IdentitySampler: true, Obs: cfg.Obs},
+			}),
+		}
+		m.per[e.Name] = d
+	}
+	// Synthesis failures (e.g. degenerate windows) must not fail the
+	// validation request that happened to complete the window; they are
+	// surfaced on /v1/drift instead.
+	if _, err := d.inc.Observe(raw); err != nil {
+		d.lastErr = err.Error()
+	}
+}
+
+// driftStatus is the wire form of one dataset's monitor state.
+type driftStatus struct {
+	Dataset string `json:"dataset"`
+	// ProgramFingerprint is the served program version the monitor's
+	// baseline was built under (not the synthesized program's own
+	// fingerprint, which is IncrStatus.Fingerprint).
+	ProgramFingerprint string `json:"program_fingerprint"`
+	LastError          string `json:"last_error,omitempty"`
+	synth.IncrStatus
+}
+
+// driftResponse is the GET /v1/drift body.
+type driftResponse struct {
+	Enabled    bool          `json:"enabled"`
+	WindowRows int           `json:"window_rows,omitempty"`
+	MaxWindows int           `json:"max_windows,omitempty"`
+	Alpha      float64       `json:"alpha,omitempty"`
+	Datasets   []driftStatus `json:"datasets"`
+}
+
+func (m *driftMonitor) snapshot() []driftStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]driftStatus, 0, len(m.per))
+	for name, d := range m.per {
+		out = append(out, driftStatus{
+			Dataset:            name,
+			ProgramFingerprint: d.fingerprint,
+			LastError:          d.lastErr,
+			IncrStatus:         d.inc.Status(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}
+
+// handleDrift reports the drift monitor's per-dataset status: rows
+// observed, windows merged, triggers fired, and the change-event stream
+// with old/new program fingerprints.
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request, _ trace.Scope) {
+	if s.drift == nil {
+		writeJSON(w, http.StatusOK, driftResponse{Datasets: []driftStatus{}})
+		return
+	}
+	resp := driftResponse{
+		Enabled:    true,
+		WindowRows: s.drift.cfg.WindowRows,
+		MaxWindows: s.drift.cfg.MaxWindows,
+		Alpha:      s.drift.cfg.Alpha,
+		Datasets:   s.drift.snapshot(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -160,6 +160,7 @@ func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, re
 		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.observeDrift(e, buf.raw)
 	vs := e.Detect(buf.codes, nil)
 	resp := singleResponse{
 		Dataset:     e.Name,
@@ -322,6 +323,7 @@ func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rec
 // checkOne detects (and under rectify repairs) the row in buf, updating
 // the serve.* row counters.
 func (s *Server) checkOne(e *Entry, buf *rowBuf, vbuf *[]dsl.Violation, rectify bool, i int) verdict {
+	s.observeDrift(e, buf.raw)
 	*vbuf = e.Detect(buf.codes, *vbuf)
 	v := verdict{Row: i, Flagged: len(*vbuf) > 0, Violations: s.decodeViolations(e, *vbuf, buf.raw)}
 	s.metrics.rows.Inc()

@@ -34,6 +34,9 @@ type Config struct {
 	// while the request is in flight, preserving single-writer lanes);
 	// slots beyond the tracer's lane count are served untraced.
 	Tracer *trace.Tracer
+	// Drift configures the observed-row drift monitor behind GET
+	// /v1/drift. Disabled by the zero value.
+	Drift DriftConfig
 }
 
 func (c Config) maxInflight() int {
@@ -71,6 +74,7 @@ type serveMetrics struct {
 	histCheck    *obs.Histogram
 	histRectify  *obs.Histogram
 	histPrograms *obs.Histogram
+	histDrift    *obs.Histogram
 }
 
 // Server is the validation daemon: an http.Handler plus the lifecycle
@@ -82,6 +86,7 @@ type Server struct {
 	mux      *http.ServeMux
 	http     *http.Server
 	metrics  serveMetrics
+	drift    *driftMonitor
 }
 
 // New builds a Server from cfg. The handler is ready immediately (tests
@@ -108,7 +113,11 @@ func New(cfg Config) *Server {
 			histCheck:    reg.Histogram("serve.request.check"),
 			histRectify:  reg.Histogram("serve.request.rectify"),
 			histPrograms: reg.Histogram("serve.request.programs"),
+			histDrift:    reg.Histogram("serve.request.drift"),
 		},
+	}
+	if cfg.Drift.Enabled {
+		s.drift = newDriftMonitor(cfg.Drift)
 	}
 	s.routes()
 	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
@@ -128,6 +137,7 @@ func (s *Server) routes() {
 		func(w http.ResponseWriter, r *http.Request, sc trace.Scope) { s.handleValidate(w, r, sc, false) }))
 	s.mux.Handle("POST /v1/rectify", s.gated("rectify", s.metrics.histRectify,
 		func(w http.ResponseWriter, r *http.Request, sc trace.Scope) { s.handleValidate(w, r, sc, true) }))
+	s.mux.Handle("GET /v1/drift", s.gated("drift", s.metrics.histDrift, s.handleDrift))
 	s.mux.Handle("GET /v1/programs", s.gated("programs", s.metrics.histPrograms, s.handleProgramList))
 	s.mux.Handle("GET /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramGet))
 	s.mux.Handle("PUT /v1/programs/{name}", s.gated("programs", s.metrics.histPrograms, s.handleProgramPut))
@@ -152,7 +162,7 @@ func (s *Server) gated(endpoint string, hist *obs.Histogram, h func(http.Respons
 		s.metrics.requests.Inc()
 
 		sc := s.requestScope(slot)
-		sp := sc.Start("serve." + endpoint).Str("method", r.Method).Str("path", r.URL.Path)
+		sp := sc.Start("serve."+endpoint).Str("method", r.Method).Str("path", r.URL.Path)
 		defer sp.End()
 		t := hist.Start()
 		defer t.Stop()

@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Data exposes a discrete dataset to the independence tests: a fixed number
@@ -45,6 +46,37 @@ func catOf(code int32, card int) int {
 		return card
 	}
 	return int(code)
+}
+
+// CatOf is catOf for callers outside the package (internal/stats/incr
+// builds the same strata from merged tables and must categorize codes
+// identically for the windowed-vs-batch identity to be bit-exact).
+func CatOf(code int32, card int) int { return catOf(code, card) }
+
+// CITester runs conditional-independence tests over some representation
+// of a dataset's sufficient statistics. Data-backed callers get one via
+// Tester; internal/stats/incr implements it directly over merged
+// windowed contingency tables, which is what lets PC re-learn from a
+// sliding window without rescanning rows.
+type CITester interface {
+	// NumVars reports the number of variables.
+	NumVars() int
+	// N reports the number of observations behind the statistics.
+	N() int
+	// Card reports the cardinality (number of categories) of variable i.
+	Card(i int) int
+	// Test computes the G² independence test of x and y given z.
+	Test(x, y int, z []int) (TestResult, error)
+}
+
+// Tester adapts raw column data to CITester: each Test is a from-scratch
+// GTest over the columns.
+func Tester(d Data) CITester { return columnTester{d} }
+
+type columnTester struct{ Data }
+
+func (t columnTester) Test(x, y int, z []int) (TestResult, error) {
+	return GTest(t.Data, x, y, z)
 }
 
 // GTest computes the G² (log-likelihood ratio) test of independence between
@@ -94,6 +126,19 @@ func GTest(d Data, x, y int, z []int) (TestResult, error) {
 		tab[catOf(xcol[r], cx-1)*cy+catOf(ycol[r], cy-1)]++
 	}
 
+	return TestFromStrata(strata, n, cx, cy)
+}
+
+// TestFromStrata finishes a G² test from pre-accumulated per-stratum
+// contingency tables: the shared tail of GTest, exposed so callers that
+// build strata from merged windowed tables (internal/stats/incr) compute
+// bit-identical results to a from-scratch pass over the rows. n is the
+// total observation count behind the strata; cx and cy are the table
+// dimensions including the extra missing slot.
+func TestFromStrata(strata map[int64][]int32, n, cx, cy int) (TestResult, error) {
+	if n == 0 {
+		return TestResult{Reliant: false, P: 1}, nil
+	}
 	g, dof := gFromStrata(strata, cx, cy)
 	if dof <= 0 {
 		return TestResult{Stat: 0, Dof: 0, P: 1, Reliant: false}, nil
@@ -112,12 +157,25 @@ func GTest(d Data, x, y int, z []int) (TestResult, error) {
 // gFromStrata accumulates the G² statistic and degrees of freedom across
 // strata, using per-stratum margins for expected counts. Rows/columns that
 // are empty within a stratum do not contribute degrees of freedom there.
+//
+// Strata are visited in ascending key order. Floating-point addition is
+// not associative, so summing G² in Go's randomized map order would let
+// the last bits of the statistic — and p-values sitting near the alpha
+// threshold — differ run to run, breaking the synthesizer's pinned
+// determinism. The sort makes the accumulation order, and therefore every
+// bit of the result, a function of the data alone.
 func gFromStrata(strata map[int64][]int32, cx, cy int) (float64, int) {
+	keys := make([]int64, 0, len(strata))
+	for k := range strata {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var g float64
 	dof := 0
 	rowMarg := make([]float64, cx)
 	colMarg := make([]float64, cy)
-	for _, tab := range strata {
+	for _, key := range keys {
+		tab := strata[key]
 		for i := range rowMarg {
 			rowMarg[i] = 0
 		}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -141,5 +142,81 @@ func TestGTestSparseUnreliable(t *testing.T) {
 	}
 	if !res.Independent(0.05) {
 		t.Fatal("unreliable test must report independence")
+	}
+}
+
+// TestGFromStrataDeterministic: G² accumulates floating-point terms across
+// strata, and float addition is not associative — iterating the strata map
+// in Go's randomized order made the low bits of the statistic (and
+// p-values near alpha) differ run to run. The fix iterates strata in
+// sorted-key order; this pins bit-identical results across many runs and
+// across permuted row insert orders.
+func TestGFromStrataDeterministic(t *testing.T) {
+	// Many strata with counts of wildly different magnitudes, so any
+	// reordering of the float accumulation is near-certain to change the
+	// low bits of the sum.
+	rng := rand.New(rand.NewSource(11))
+	n := 4000
+	cols := make([][]int32, 4)
+	cards := []int{3, 3, 5, 7}
+	for c := range cols {
+		cols[c] = make([]int32, n)
+		for i := range cols[c] {
+			if rng.Intn(97) == 0 {
+				cols[c][i] = -1 // missing category exercises the extra slot
+				continue
+			}
+			// Skewed draws give strata with very unequal totals.
+			v := rng.Intn(cards[c] * cards[c])
+			if v >= cards[c] {
+				v = 0
+			}
+			cols[c][i] = int32(v)
+		}
+	}
+	d := &matrix{cols: cols, cards: cards}
+	ref, err := GTest(d, 0, 1, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 50; run++ {
+		res, err := GTest(d, 0, 1, []int{2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.Stat) != math.Float64bits(ref.Stat) ||
+			math.Float64bits(res.P) != math.Float64bits(ref.P) || res.Dof != ref.Dof {
+			t.Fatalf("run %d: G²/p drifted: got (%x, %x, %d), want (%x, %x, %d)",
+				run, math.Float64bits(res.Stat), math.Float64bits(res.P), res.Dof,
+				math.Float64bits(ref.Stat), math.Float64bits(ref.P), ref.Dof)
+		}
+	}
+	// Permuting the rows permutes strata-map insertion order but not the
+	// data; the statistic must not move by a bit.
+	for run := 0; run < 20; run++ {
+		perm := rand.New(rand.NewSource(int64(run))).Perm(n)
+		pcols := make([][]int32, len(cols))
+		for c := range cols {
+			pcols[c] = make([]int32, n)
+			for i, p := range perm {
+				pcols[c][i] = cols[c][p]
+			}
+		}
+		res, err := GTest(&matrix{cols: pcols, cards: cards}, 0, 1, []int{2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.Stat) != math.Float64bits(ref.Stat) ||
+			math.Float64bits(res.P) != math.Float64bits(ref.P) {
+			t.Fatalf("permutation %d changed the statistic bits", run)
+		}
+	}
+	// ChiSquareTest shares the stratification machinery and must agree.
+	chi, err := ChiSquareTest(d, 0, 1, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(chi.Stat) != math.Float64bits(ref.Stat) {
+		t.Fatal("ChiSquareTest disagrees with GTest on the shared path")
 	}
 }

@@ -1,0 +1,129 @@
+package incr
+
+import (
+	"math"
+
+	"github.com/guardrail-db/guardrail/internal/stats"
+)
+
+// VarDrift is the drift verdict for one variable: a G-test of
+// homogeneity between its baseline and window marginal distributions.
+type VarDrift struct {
+	Var     int
+	Stat    float64
+	Dof     int
+	P       float64
+	Drifted bool
+}
+
+// DriftReport collects per-variable drift verdicts for one comparison.
+type DriftReport struct {
+	Vars []VarDrift
+}
+
+// Any reports whether any variable drifted.
+func (r DriftReport) Any() bool {
+	for _, v := range r.Vars {
+		if v.Drifted {
+			return true
+		}
+	}
+	return false
+}
+
+// DriftedVars returns the indices of drifted variables, ascending.
+func (r DriftReport) DriftedVars() []int {
+	var out []int
+	for _, v := range r.Vars {
+		if v.Drifted {
+			out = append(out, v.Var)
+		}
+	}
+	return out
+}
+
+// Dirty renders the report as the dirty-flag vector pc.LearnWarm
+// consumes: dirty[i] is true when variable i's marginal drifted.
+func (r DriftReport) Dirty(numVars int) []bool {
+	dirty := make([]bool, numVars)
+	for _, v := range r.Vars {
+		if v.Drifted && v.Var < numVars {
+			dirty[v.Var] = true
+		}
+	}
+	return dirty
+}
+
+// DetectDrift compares each variable's marginal distribution in window
+// against baseline with a G-test of homogeneity on the 2×k contingency
+// table (baseline counts vs window counts over the k observed
+// categories, missing included) and flags variables whose p-value falls
+// at or below alpha. Small samples (dof 0, or either side empty) never
+// flag — matching the conservative stance the CI tests take on sparse
+// tables. The scan is over fixed-order slices, so the report is a pure
+// function of the two tables.
+func DetectDrift(baseline, window *Table, alpha float64) DriftReport {
+	nv := baseline.NumVars()
+	if window.NumVars() < nv {
+		nv = window.NumVars()
+	}
+	rep := DriftReport{Vars: make([]VarDrift, 0, nv)}
+	for i := 0; i < nv; i++ {
+		b := baseline.Marginal(i)
+		w := window.Marginal(i)
+		rep.Vars = append(rep.Vars, driftOne(i, b, w, alpha))
+	}
+	return rep
+}
+
+// driftOne runs the 2×k homogeneity G-test for one variable. The two
+// marginals may have different lengths when one table's dictionary grew;
+// the shorter is treated as zero-padded.
+func driftOne(i int, b, w []int64, alpha float64) VarDrift {
+	k := len(b)
+	if len(w) > k {
+		k = len(w)
+	}
+	at := func(m []int64, j int) float64 {
+		if j < len(m) {
+			return float64(m[j])
+		}
+		return 0
+	}
+	var nb, nw float64
+	for j := 0; j < k; j++ {
+		nb += at(b, j)
+		nw += at(w, j)
+	}
+	d := VarDrift{Var: i, P: 1}
+	total := nb + nw
+	if nb == 0 || nw == 0 {
+		return d // nothing to compare against
+	}
+	nzCols := 0
+	var g float64
+	for j := 0; j < k; j++ {
+		ob, ow := at(b, j), at(w, j)
+		col := ob + ow
+		if col == 0 {
+			continue
+		}
+		nzCols++
+		if ob > 0 {
+			g += 2 * ob * math.Log(ob/(nb*col/total))
+		}
+		if ow > 0 {
+			g += 2 * ow * math.Log(ow/(nw*col/total))
+		}
+	}
+	if nzCols < 2 {
+		return d
+	}
+	d.Stat = g
+	d.Dof = nzCols - 1
+	if p, err := stats.ChiSquareSurvival(g, d.Dof); err == nil {
+		d.P = p
+		d.Drifted = p <= alpha
+	}
+	return d
+}

@@ -1,0 +1,62 @@
+package incr
+
+import "fmt"
+
+// Ring maintains a sliding view over the most recent windows: pushing a
+// per-window table merges it into a running aggregate, and once more
+// than cap windows are live the oldest is subtracted back out. Keeping
+// the per-window tables (not their rows) is what makes the slide cost
+// O(window change): expiry is one Subtract, never a rescan.
+type Ring struct {
+	cap     int
+	windows []*Table
+	agg     *Table
+}
+
+// NewRing builds a ring holding at most cap windows (cap >= 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		panic(fmt.Sprintf("incr: ring capacity %d", cap))
+	}
+	return &Ring{cap: cap}
+}
+
+// Push merges w into the aggregate and retires the oldest window when
+// the ring is over capacity, returning the retired table (nil when none
+// expired). The ring owns w after the call.
+func (r *Ring) Push(w *Table) (expired *Table, err error) {
+	if r.agg == nil {
+		r.agg = w.Clone()
+	} else if err := r.agg.Merge(w); err != nil {
+		return nil, err
+	}
+	r.windows = append(r.windows, w)
+	if len(r.windows) <= r.cap {
+		return nil, nil
+	}
+	expired = r.windows[0]
+	r.windows = r.windows[1:]
+	if err := r.agg.Subtract(expired); err != nil {
+		return nil, err
+	}
+	return expired, nil
+}
+
+// Aggregate returns the live merged view over the ring's windows. The
+// caller must not mutate it; Clone first to keep a snapshot across
+// pushes. Nil until the first Push.
+func (r *Ring) Aggregate() *Table { return r.agg }
+
+// Len reports the number of live windows.
+func (r *Ring) Len() int { return len(r.windows) }
+
+// N reports the total observations across live windows.
+func (r *Ring) N() int {
+	if r.agg == nil {
+		return 0
+	}
+	return r.agg.N()
+}
+
+// Window returns the i-th oldest live window.
+func (r *Ring) Window(i int) *Table { return r.windows[i] }

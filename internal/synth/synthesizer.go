@@ -68,6 +68,19 @@ type Options struct {
 	// zero scope disables tracing at zero cost. Spans record wall-clock
 	// only and never influence the synthesized program.
 	Trace trace.Scope
+	// CI overrides the structure learner's test provider. When set, PC
+	// draws its G² tests from here — typically a merged windowed
+	// contingency table (internal/stats/incr) — instead of re-scanning the
+	// sampled columns. Sketch screening and filling still run over the
+	// relation's rows. Implies the identity sampler's variable space: the
+	// tester must index variables exactly as rel indexes attributes.
+	CI stats.CITester
+	// WarmStart re-learns from a previous PC result, re-deciding only the
+	// edges Dirty marks (see pc.LearnWarm). Nil means a cold start.
+	WarmStart *pc.Result
+	// Dirty flags the variables whose statistics drifted since WarmStart
+	// was learned; ignored when WarmStart is nil.
+	Dirty []bool
 }
 
 func (o *Options) defaults() {
@@ -115,6 +128,9 @@ type Result struct {
 	SolverCalls int64
 	// CITests is the number of independence tests run by PC.
 	CITests int
+	// Learned is the full PC result, kept so a later re-synthesis can
+	// warm-start from this run's skeleton and separating sets.
+	Learned *pc.Result
 }
 
 // TotalTime is the summed pipeline time (Table 4).
@@ -156,8 +172,19 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 		}
 		data = aux
 	}
-	learned, err := pc.Learn(data, pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond,
-		Workers: opts.Workers, Obs: opts.Obs, Trace: stage.Under(lsp)})
+	ci := opts.CI
+	if ci == nil {
+		ci = stats.Tester(data)
+	}
+	pcOpts := pc.Options{Alpha: opts.Alpha, MaxCond: opts.MaxCond,
+		Workers: opts.Workers, Obs: opts.Obs, Trace: stage.Under(lsp)}
+	var learned *pc.Result
+	var err error
+	if opts.WarmStart != nil {
+		learned, err = pc.LearnWarm(ci, opts.WarmStart, opts.Dirty, pcOpts)
+	} else {
+		learned, err = pc.LearnFrom(ci, pcOpts)
+	}
 	if err != nil {
 		lsp.End()
 		return nil, fmt.Errorf("synth: structure learning: %w", err)
@@ -165,6 +192,7 @@ func Synthesize(rel *dataset.Relation, opts Options) (*Result, error) {
 	lsp.End()
 	res.CPDAG = learned.CPDAG
 	res.CITests = learned.Tests
+	res.Learned = learned
 	res.LearnTime = time.Since(t0)
 	opts.Obs.Histogram("synth.learn").Observe(int64(res.LearnTime))
 
