@@ -73,7 +73,7 @@ func run(in, out, date string, summary bool) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read side: Close error carries no data
 		r = f
 	}
 	rep, err := Parse(r)

@@ -47,7 +47,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() { _ = srv.Close() }() // best-effort teardown at process exit
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
 	}
 

@@ -122,16 +122,23 @@ func loadCSV(path string) (*dataset.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	// Read side: a Close error after a successful read carries no data.
+	defer func() { _ = f.Close() }()
 	return dataset.FromCSV(f, path)
 }
 
-func writeCSV(rel *dataset.Relation, path string) error {
+func writeCSV(rel *dataset.Relation, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Write side: Close is where buffered bytes hit the disk, so its
+	// error is the write failing — surface it unless ToCSV already did.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return rel.ToCSV(f)
 }
 

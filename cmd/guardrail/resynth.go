@@ -43,7 +43,7 @@ func cmdResynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read side: Close error carries no data
 	cr := csv.NewReader(f)
 	cr.ReuseRecord = true
 	header, err := cr.Read()

@@ -2,25 +2,35 @@
 // layer of Guardrail's static-analysis subsystem. Where internal/dsl/verify
 // checks synthesized programs, vetguard checks the Go code that synthesizes
 // them, enforcing the determinism and hygiene invariants a reproducible
-// experiment pipeline depends on:
+// experiment pipeline depends on.
 //
-//	maprange:   iteration over a map whose keys/values flow into a slice
-//	            or output stream without a subsequent sort — synthesis
-//	            output must be byte-stable across runs
-//	globalrand: use of the global math/rand source in non-test code —
-//	            experiments must draw from seeded *rand.Rand instances
-//	ignorederr: a call whose error result is silently discarded
-//	nakedgo:    a `go` statement outside internal/par — pipeline
-//	            concurrency must route through the worker pool so it
-//	            inherits ordered collection, cancellation, and panic
-//	            propagation
-//	regcopy:    a receiver, parameter, result, or range value that moves
-//	            a type holding sync or sync/atomic state by value —
-//	            copying forks the lock word or counter register
-//	spanleak:   an obs.Span or trace.Span received from a call with a
-//	            path through the function that never calls Stop/End —
-//	            an unclosed span loses its stage timing or exports as an
-//	            unfinished trace record
+// The checks themselves live in internal/vet: a reusable, stdlib-only
+// analysis library with a CFG builder, dominance, and a generic dataflow
+// solver, plus the registered checks —
+//
+//	maporder:    map iteration order reaching an order-sensitive sink
+//	             (output stream, unsorted append, float accumulation),
+//	             both the syntactic in-loop form and flow-sensitive
+//	             escapes the loop-local view cannot see
+//	globalrand:  use of the global math/rand source in non-test code —
+//	             experiments must draw from seeded *rand.Rand instances
+//	ignorederr:  a call — plain, deferred, or in a go statement — whose
+//	             error result is silently discarded
+//	nakedgo:     a `go` statement outside internal/par — pipeline
+//	             concurrency must route through the worker pool so it
+//	             inherits ordered collection, cancellation, and panic
+//	             propagation
+//	regcopy:     a receiver, parameter, result, or range value that moves
+//	             a type holding sync or sync/atomic state by value —
+//	             copying forks the lock word or counter register
+//	spanleak:    an obs.Span or trace.Span received from a call with a
+//	             path through the function that never calls Stop/End —
+//	             an unclosed span loses its stage timing or exports as an
+//	             unfinished trace record
+//	lockbalance: a sync.Mutex/RWMutex still held on some path to return —
+//	             the next caller to Lock deadlocks
+//	deaderr:     an error assigned from a call, then overwritten or
+//	             dropped on some path before anything reads it
 //
 // Usage:
 //
@@ -51,8 +61,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strings"
+
+	"github.com/guardrail-db/guardrail/internal/vet"
 )
 
 func main() {
@@ -91,7 +102,7 @@ type jsonFinding struct {
 
 // writeJSON renders findings as the -json document: a stable envelope CI
 // jobs can parse without scraping the text format.
-func writeJSON(w io.Writer, findings []Finding) error {
+func writeJSON(w io.Writer, findings []vet.Finding) error {
 	doc := struct {
 		Findings []jsonFinding `json:"findings"`
 		Count    int           `json:"count"`
@@ -107,17 +118,6 @@ func writeJSON(w io.Writer, findings []Finding) error {
 	return enc.Encode(doc)
 }
 
-// Finding is one lint diagnostic.
-type Finding struct {
-	Pos     token.Position
-	Check   string
-	Message string
-}
-
-func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
-}
-
 // listedPkg is the subset of `go list -json` output vetguard needs.
 type listedPkg struct {
 	ImportPath string
@@ -129,8 +129,10 @@ type listedPkg struct {
 }
 
 // analyze lints the packages matched by patterns (default "./...") and
-// returns the findings sorted by position.
-func analyze(patterns []string) ([]Finding, error) {
+// returns the findings in the canonical order: file, line, column, check,
+// message — a total order, so emission is byte-stable regardless of the
+// order packages were walked in.
+func analyze(patterns []string) ([]vet.Finding, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -153,7 +155,7 @@ func analyze(patterns []string) ([]Finding, error) {
 		return os.Open(file)
 	})
 
-	var findings []Finding
+	var findings []vet.Finding
 	linted := 0
 	for _, p := range pkgs {
 		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
@@ -171,16 +173,7 @@ func analyze(patterns []string) ([]Finding, error) {
 	if linted == 0 {
 		return nil, fmt.Errorf("no lintable packages matched %s", strings.Join(patterns, " "))
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	vet.SortFindings(findings)
 	return findings, nil
 }
 
@@ -210,16 +203,16 @@ func goList(patterns []string) ([]listedPkg, error) {
 	return pkgs, nil
 }
 
-// lintPackage parses, typechecks and lints one package. Test files are not
-// listed in GoFiles, so all three checks see only non-test code.
-func lintPackage(p listedPkg, imp types.Importer) ([]Finding, error) {
+// loadPackage parses and typechecks one listed package. Test files are
+// not listed in GoFiles, so the checks see only non-test code.
+func loadPackage(p listedPkg, imp types.Importer) (*token.FileSet, *types.Info, []*ast.File, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range p.GoFiles {
 		path := filepath.Join(p.Dir, name)
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -237,13 +230,20 @@ func lintPackage(p listedPkg, imp types.Importer) ([]Finding, error) {
 		Error: func(error) {},
 	}
 	_, _ = conf.Check(p.ImportPath, fset, files, info)
+	return fset, info, files, nil
+}
 
-	var findings []Finding
+// lintPackage runs every registered internal/vet check over one package
+// and applies //vetguard:ignore suppression.
+func lintPackage(p listedPkg, imp types.Importer) ([]vet.Finding, error) {
+	fset, info, files, err := loadPackage(p, imp)
+	if err != nil {
+		return nil, err
+	}
+	var findings []vet.Finding
 	for _, file := range files {
 		suppressed := suppressedLines(fset, file)
-		c := &checker{fset: fset, info: info, file: file, pkgPath: p.ImportPath}
-		c.run()
-		for _, f := range c.findings {
+		for _, f := range vet.RunChecks(fset, info, file, p.ImportPath) {
 			if suppressed[f.Pos.Line] {
 				continue
 			}

@@ -164,3 +164,105 @@ func SuppressedSpanLeak(sc trace.Scope) {
 	sp := sc.Start("fire-and-forget") //vetguard:ignore exporter flags it as unfinished on purpose
 	sp.Event("armed")
 }
+
+// DeferredIgnoredError defers a Close whose error nobody will ever see —
+// precisely the write-side flush failure that matters.
+func DeferredIgnoredError(f *os.File) {
+	defer f.Close()
+	fmt.Fprintln(f, "row")
+}
+
+// GoroutineIgnoredError launches a call whose error vanishes on a
+// goroutine no one joins (also a nakedgo finding).
+func GoroutineIgnoredError(path string) {
+	go os.Remove(path)
+}
+
+// LockLeakEarlyReturn returns with the mutex still held on the error
+// path: the next Lock deadlocks.
+func LockLeakEarlyReturn(g *guarded, bail bool) int {
+	g.mu.Lock()
+	if bail {
+		return -1
+	}
+	n := g.hits
+	g.mu.Unlock()
+	return n
+}
+
+// RLockLeakFallthrough releases the read lock only inside the loop that
+// found a hit; falling through leaks it.
+type rwGuarded struct {
+	mu   sync.RWMutex
+	keys []string
+}
+
+func (g *rwGuarded) RLockLeakFallthrough(want string) bool {
+	g.mu.RLock()
+	for _, k := range g.keys {
+		if k == want {
+			g.mu.RUnlock()
+			return true
+		}
+	}
+	return false
+}
+
+// DeadErrOverwritten assigns step one's error and overwrites it before
+// anything reads it: the first failure is swallowed.
+func DeadErrOverwritten(path string) error {
+	err := os.Remove(path)
+	err = os.Remove(path + ".bak")
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeadErrDroppedOnOnePath checks the error on the slow path but the
+// fast-path return drops it unread.
+func DeadErrDroppedOnOnePath(path string, fast bool) error {
+	err := os.Remove(path)
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// MapOrderPlainFloatAccum is the plain-assignment spelling of float
+// accumulation over a map — invisible to the compound-only syntactic
+// check, caught by taint flow.
+func MapOrderPlainFloatAccum(m map[string]float64) float64 {
+	var g float64
+	for _, v := range m {
+		g = g + v
+	}
+	return g
+}
+
+// MapOrderEscapedPrint lets a map-ordered value escape the loop and
+// reach output afterwards: no sink is inside the range body, so only
+// the flow-sensitive layer sees it.
+func MapOrderEscapedPrint(m map[string]int) {
+	var last string
+	for k := range m {
+		last = k
+	}
+	fmt.Println(last)
+}
+
+// MapOrderChainedAccum ranges over the unsorted key slice in a second
+// loop and accumulates floats in that (map-derived) order. The append
+// is the syntactic finding; the accumulation two statements later is
+// flow-only.
+func MapOrderChainedAccum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -113,13 +113,14 @@ func HandledError(path string) error {
 	return nil
 }
 
-// DeferredClose follows the defer-Close convention, which is not flagged.
+// DeferredClose discards the read-side Close error explicitly — the
+// sanctioned idiom now that deferred calls are checked too.
 func DeferredClose(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return nil
 }
 
@@ -216,4 +217,64 @@ func SampledSpan(sc trace.Scope, rows int) {
 		}
 		sp.End()
 	}
+}
+
+// BalancedEarlyReturn releases the lock on the early-return path before
+// leaving — the explicit-unlock counterpart of defer.
+func BalancedEarlyReturn(c *counter, bail bool) int {
+	c.mu.Lock()
+	if bail {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// DeferredUnlockLiteral releases inside a deferred closure; every path
+// out of the function runs it.
+func DeferredUnlockLiteral(c *counter) int {
+	c.mu.Lock()
+	defer func() { c.mu.Unlock() }()
+	return c.n
+}
+
+// FallbackError reads the first error before deciding to retry: both
+// assignments are consumed on every path.
+func FallbackError(path string) error {
+	err := os.Remove(path)
+	if err != nil {
+		err = os.Remove(path + ".bak")
+	}
+	return err
+}
+
+// RetryLoop keeps only the last attempt's error on purpose — each
+// iteration's error is read by the loop condition before the next
+// assignment lands.
+func RetryLoop(path string, attempts int) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = os.Remove(path)
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// SortedChainAccum launders the collected keys with a sort before the
+// second loop, so the accumulation order is deterministic.
+func SortedChainAccum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total = total + m[k]
+	}
+	return total
 }

@@ -1,0 +1,323 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses a function body (placed starting at line 4 of a
+// synthetic file, so expected dumps can name lines) and builds its CFG.
+func buildFunc(t *testing.T, body string) (*token.FileSet, *Graph) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return fset, Build(fn.Body)
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil
+}
+
+// findNode locates a node by its Describe rendering ("L7:IfStmt").
+func findNode(t *testing.T, fset *token.FileSet, g *Graph, desc string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if g.Describe(fset, n) == desc {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph:\n%s", desc, g.String(fset))
+	return nil
+}
+
+func assertGraph(t *testing.T, fset *token.FileSet, g *Graph, want string) {
+	t.Helper()
+	// Trailing per-line whitespace (a childless node renders "exit -> ")
+	// is not part of the contract.
+	trim := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i := range lines {
+			lines[i] = strings.TrimRight(lines[i], " ")
+		}
+		return strings.Join(lines, "\n")
+	}
+	want = strings.TrimPrefix(want, "\n")
+	if got := trim(g.String(fset)); got != trim(want) {
+		t.Errorf("graph mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCFGLabeledBreakContinue: continue outer must edge to the OUTER
+// post statement (skipping the inner loop entirely) and break outer to
+// the statement after the outer loop.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	fset, g := buildFunc(t, `outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			sink(i, j)
+		}
+	}
+	sink(0, 0)
+`)
+	assertGraph(t, fset, g, `
+entry -> L5:AssignStmt
+exit ->
+L5:ForStmt -> L16:ExprStmt, L6:AssignStmt
+L5:AssignStmt -> L5:ForStmt
+L5:IncDecStmt -> L5:ForStmt
+L6:ForStmt -> L5:IncDecStmt, L7:IfStmt
+L6:AssignStmt -> L6:ForStmt
+L6:IncDecStmt -> L6:ForStmt
+L7:IfStmt -> L10:IfStmt, L8:BranchStmt
+L8:BranchStmt -> L5:IncDecStmt
+L10:IfStmt -> L11:BranchStmt, L13:ExprStmt
+L11:BranchStmt -> L16:ExprStmt
+L13:ExprStmt -> L6:IncDecStmt
+L16:ExprStmt -> exit
+`)
+
+	dom := Dominators(g)
+	outerFor := findNode(t, fset, g, "L5:ForStmt")
+	after := findNode(t, fset, g, "L16:ExprStmt")
+	brk := findNode(t, fset, g, "L11:BranchStmt")
+	if !dom.Dominates(outerFor, after) {
+		t.Error("outer for header should dominate the statement after the loop")
+	}
+	if dom.Idom(after) != outerFor {
+		t.Errorf("Idom(after-loop) = %v, want the outer for header", dom.Idom(after))
+	}
+	if dom.Dominates(brk, after) {
+		t.Error("break outer must not dominate the after-loop statement (the cond-false path bypasses it)")
+	}
+	pdom := PostDominators(g)
+	if !pdom.Dominates(after, outerFor) {
+		t.Error("the after-loop statement should postdominate the loop header (no return/panic inside)")
+	}
+}
+
+// TestCFGGoto: a backward goto forms a loop; the labeled target is the
+// entry node of the labeled statement, resolved even though the goto is
+// built before the label.
+func TestCFGGoto(t *testing.T) {
+	fset, g := buildFunc(t, `	i := 0
+loop:
+	if i < 10 {
+		i++
+		goto loop
+	}
+`)
+	assertGraph(t, fset, g, `
+entry -> L4:AssignStmt
+exit ->
+L4:AssignStmt -> L6:IfStmt
+L6:IfStmt -> L7:IncDecStmt, exit
+L7:IncDecStmt -> L8:BranchStmt
+L8:BranchStmt -> L6:IfStmt
+`)
+
+	dom := Dominators(g)
+	cond := findNode(t, fset, g, "L6:IfStmt")
+	inc := findNode(t, fset, g, "L7:IncDecStmt")
+	gotoN := findNode(t, fset, g, "L8:BranchStmt")
+	// The backedge from the goto must not disturb the dominator tree:
+	// init → cond → inc → goto is a chain.
+	for _, want := range []struct {
+		n, idom *Node
+	}{
+		{cond, findNode(t, fset, g, "L4:AssignStmt")},
+		{inc, cond},
+		{gotoN, inc},
+	} {
+		if got := dom.Idom(want.n); got != want.idom {
+			t.Errorf("Idom(%s) = %v, want %s", g.Describe(fset, want.n), got, g.Describe(fset, want.idom))
+		}
+	}
+	pdom := PostDominators(g)
+	if !pdom.Dominates(cond, gotoN) {
+		t.Error("the if header should postdominate the goto (only path to exit re-tests the condition)")
+	}
+}
+
+// TestCFGSelect: select fans out to one node per comm clause and has no
+// follow edge of its own — with a default the default arm is the
+// fall-through path; without one the select blocks until an arm is
+// ready.
+func TestCFGSelect(t *testing.T) {
+	fset, g := buildFunc(t, `	select {
+	case v := <-ch:
+		_ = v
+	case ch <- 1:
+		sink(1)
+	default:
+		sink(2)
+	}
+	sink(3)
+`)
+	assertGraph(t, fset, g, `
+entry -> L4:SelectStmt
+exit ->
+L4:SelectStmt -> L5:CommClause, L7:CommClause, L9:CommClause
+L5:CommClause -> L6:AssignStmt
+L6:AssignStmt -> L12:ExprStmt
+L7:CommClause -> L8:ExprStmt
+L8:ExprStmt -> L12:ExprStmt
+L9:CommClause -> L10:ExprStmt
+L10:ExprStmt -> L12:ExprStmt
+L12:ExprStmt -> exit
+`)
+	pdom := PostDominators(g)
+	sel := findNode(t, fset, g, "L4:SelectStmt")
+	after := findNode(t, fset, g, "L12:ExprStmt")
+	if !pdom.Dominates(after, sel) {
+		t.Error("the statement after the select should postdominate it (every arm falls through)")
+	}
+
+	// No arms at all: `select {}` blocks forever, so the following
+	// statement is unreachable and the exit node unreached.
+	fset2, g2 := buildFunc(t, `	select {}
+	sink(1)
+`)
+	sel2 := findNode(t, fset2, g2, "L4:SelectStmt")
+	if len(sel2.Succs) != 0 {
+		t.Errorf("select {} has successors: %v", g2.String(fset2))
+	}
+	dom2 := Dominators(g2)
+	after2 := findNode(t, fset2, g2, "L5:ExprStmt")
+	if dom2.Dominates(g2.Entry, after2) {
+		t.Error("statement after select {} is unreachable; entry must not dominate it")
+	}
+	if dom2.Idom(after2) != nil {
+		t.Error("unreachable node should have no immediate dominator")
+	}
+}
+
+// TestCFGDeferInLoop: defer is an ordinary straight-line node — control
+// passes through it to the loop post statement each iteration; the
+// deferred call itself runs at function exit, which is the analyses'
+// business (they inspect Node.Stmt), not the graph's.
+func TestCFGDeferInLoop(t *testing.T) {
+	fset, g := buildFunc(t, `	for i := 0; i < 3; i++ {
+		defer sink(i)
+	}
+	return
+`)
+	assertGraph(t, fset, g, `
+entry -> L4:AssignStmt
+exit ->
+L4:ForStmt -> L5:DeferStmt, L7:ReturnStmt
+L4:AssignStmt -> L4:ForStmt
+L4:IncDecStmt -> L4:ForStmt
+L5:DeferStmt -> L4:IncDecStmt
+L7:ReturnStmt -> exit
+`)
+	def := findNode(t, fset, g, "L5:DeferStmt")
+	post := findNode(t, fset, g, "L4:IncDecStmt")
+	if len(def.Succs) != 1 || def.Succs[0] != post {
+		t.Errorf("defer node should flow straight to the loop post statement, got %v", def.Succs)
+	}
+	dom := Dominators(g)
+	loop := findNode(t, fset, g, "L4:ForStmt")
+	if dom.Idom(def) != loop {
+		t.Errorf("Idom(defer) = %v, want the loop header", dom.Idom(def))
+	}
+}
+
+// TestCFGUnreachableAfterPanic: panic edges to Exit and nowhere else;
+// the trailing statement keeps its node but has no predecessors, a nil
+// dominator set, and answers false to every dominance query.
+func TestCFGUnreachableAfterPanic(t *testing.T) {
+	fset, g := buildFunc(t, `	if bad {
+		panic("boom")
+		sink(1)
+	}
+	sink(2)
+`)
+	assertGraph(t, fset, g, `
+entry -> L4:IfStmt
+exit ->
+L4:IfStmt -> L5:ExprStmt, L8:ExprStmt
+L5:ExprStmt -> exit
+L6:ExprStmt -> L8:ExprStmt
+L8:ExprStmt -> exit
+`)
+	dead := findNode(t, fset, g, "L6:ExprStmt")
+	if len(dead.Preds) != 0 {
+		t.Errorf("statement after panic should have no predecessors, got %d", len(dead.Preds))
+	}
+	dom := Dominators(g)
+	if dom.Dominates(g.Entry, dead) || dom.Dominates(dead, dead) || dom.Idom(dead) != nil {
+		t.Error("dominance must be undefined (all-false) for the unreachable node")
+	}
+	pdom := PostDominators(g)
+	cond := findNode(t, fset, g, "L4:IfStmt")
+	after := findNode(t, fset, g, "L8:ExprStmt")
+	if pdom.Dominates(after, cond) {
+		t.Error("the after-if statement must not postdominate the condition: the panic path bypasses it")
+	}
+	if !pdom.Dominates(g.Exit, cond) {
+		t.Error("exit postdominates everything reachable")
+	}
+}
+
+// TestCFGInfiniteLoopPostdom: `for {}` has no exit edge, so nothing in
+// or before the loop can reach Exit — postdominance queries about those
+// nodes are all false rather than vacuously true.
+func TestCFGInfiniteLoopPostdom(t *testing.T) {
+	fset, g := buildFunc(t, `	for {
+		sink(1)
+	}
+`)
+	loop := findNode(t, fset, g, "L4:ForStmt")
+	if len(loop.Succs) != 1 {
+		t.Errorf("for {} should have only the body successor, got %v", g.String(fset))
+	}
+	pdom := PostDominators(g)
+	if pdom.Dominates(g.Exit, loop) {
+		t.Error("exit must not postdominate a node inside an infinite loop")
+	}
+	if !pdom.Dominates(g.Exit, g.Exit) {
+		t.Error("exit postdominates itself")
+	}
+}
+
+// TestNodeAt: positions inside an expression resolve to the innermost
+// owning statement; positions inside a nested function literal resolve
+// to the statement holding the literal.
+func TestNodeAt(t *testing.T) {
+	fset, g := buildFunc(t, `	x := compute(1, 2)
+	f := func() {
+		inner()
+	}
+	f()
+`)
+	assign := findNode(t, fset, g, "L4:AssignStmt")
+	// A position inside the call on line 4 belongs to the assignment.
+	if n := g.NodeAt(assign.Stmt.(*ast.AssignStmt).Rhs[0].Pos()); n != assign {
+		t.Errorf("NodeAt(rhs of line 4) = %v, want the assignment node", n)
+	}
+	// The literal's interior statement is not a node of THIS graph; its
+	// positions resolve to the statement holding the literal.
+	lit := findNode(t, fset, g, "L5:AssignStmt")
+	litBody := lit.Stmt.(*ast.AssignStmt).Rhs[0].(*ast.FuncLit).Body
+	if n := g.NodeAt(litBody.List[0].Pos()); n != lit {
+		t.Errorf("NodeAt(inside func literal) = %v, want the holding assignment", n)
+	}
+	if g.NodeOf(litBody.List[0]) != nil {
+		t.Error("NodeOf must not own statements inside nested function literals")
+	}
+}

@@ -1,0 +1,334 @@
+package vet
+
+// deaderr: reaching definitions over error-typed locals. A "definition"
+// is an assignment of a call result to an error variable; a read of the
+// variable consumes (kills) every definition that reaches it. A
+// definition that is never consumed is a swallowed error:
+//
+//	err := step1()
+//	err = step2() // step1's error overwritten before anyone read it
+//	if err != nil { ... }
+//
+// or, flow-sensitively, consumed on one path and dropped on another:
+//
+//	err := f()
+//	if fast { return result } // drops f's error on this path
+//	return err
+//
+// Reads kill definitions, so this is not classic reaching-defs: a
+// definition reaching a node means it reaches it *unread*. Three report
+// shapes fall out: never read + overwritten (reported at the
+// definition, naming the overwrite), never read at all (reported at the
+// definition), and read on some path but reaching a return unread on
+// another (reported at that return). The analysis bails on variables
+// whose address is taken or that are captured by a function literal —
+// writes through those channels are invisible to the CFG.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "deaderr",
+		Doc:  "error assigned from a call, then overwritten or dropped on some path before being read",
+		Run:  runDeadErr,
+	})
+}
+
+// errDef is one call-result assignment to a tracked error variable.
+type errDef struct {
+	obj  types.Object
+	name string
+	node *Node
+	pos  token.Pos
+}
+
+func runDeadErr(p *Pass) {
+	for _, fb := range p.funcBodies() {
+		p.deadErrBody(fb.body)
+	}
+}
+
+func (p *Pass) deadErrBody(body *ast.BlockStmt) {
+	g := p.CFG(body)
+
+	// Tracked variables: error-typed locals declared inside this body.
+	// Parameters and named results live in the signature (before
+	// body.Pos()) and are excluded — a named result is implicitly read
+	// by every bare return, which this per-node model does not see.
+	tracked := map[types.Object]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Defs[id].(*types.Var)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if isErrorType(obj.Type()) && obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+			tracked[obj] = true
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Bail on aliasing: &err anywhere, or err mentioned inside a nested
+	// function literal (the closure can read or write it between any two
+	// statements of this body).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id := rootIdent(n.X); id != nil {
+					delete(tracked, p.Info.ObjectOf(id))
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					delete(tracked, p.Info.ObjectOf(id))
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Definitions (call-bearing assignments) and plain writes, per node.
+	var defs []errDef
+	writes := map[*Node][]types.Object{} // every assignment, call-bearing or not
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return true
+		}
+		node := g.NodeAt(as.Pos())
+		if node == nil {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.ObjectOf(id)
+			if !tracked[obj] {
+				continue
+			}
+			writes[node] = append(writes[node], obj)
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if containsCall(rhs) {
+				defs = append(defs, errDef{obj: obj, name: id.Name, node: node, pos: as.Pos()})
+			}
+		}
+		return true
+	})
+	if len(defs) == 0 {
+		return
+	}
+
+	// Reads per node: identifiers resolving to a tracked variable in the
+	// expressions the node owns (plain-identifier assignment targets are
+	// writes, not reads).
+	reads := map[*Node]map[types.Object]bool{}
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		for _, e := range stmtOwnedReads(n.Stmt) {
+			ast.Inspect(e, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.Info.ObjectOf(id); tracked[obj] {
+						if reads[n] == nil {
+							reads[n] = map[types.Object]bool{}
+						}
+						reads[n][obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	width := len(defs)
+	gen := map[*Node]BitSet{}
+	kill := map[*Node]BitSet{}
+	addKill := func(n *Node, obj types.Object) {
+		for i, d := range defs {
+			if d.obj != obj {
+				continue
+			}
+			if kill[n] == nil {
+				kill[n] = NewBitSet(width)
+			}
+			kill[n].Set(i)
+		}
+	}
+	for i, d := range defs {
+		if gen[d.node] == nil {
+			gen[d.node] = NewBitSet(width)
+		}
+		gen[d.node].Set(i)
+	}
+	for n, objs := range writes {
+		for _, obj := range objs {
+			addKill(n, obj)
+		}
+	}
+	for n, objs := range reads {
+		for obj := range objs {
+			addKill(n, obj)
+		}
+	}
+
+	flows := Solve(g, Problem{
+		Facts:    width,
+		Transfer: GenKill(gen, kill, width),
+	})
+
+	for i, d := range defs {
+		// Read anywhere? (The reading node may simultaneously redefine —
+		// err = wrap(err) — reads happen first.)
+		readSomewhere := false
+		for n, objs := range reads {
+			if objs[d.obj] && flows[n.Index].In.Has(i) {
+				readSomewhere = true
+				break
+			}
+		}
+		if !readSomewhere {
+			// Prefer naming the overwrite when one exists.
+			var over *Node
+			for n, objs := range writes {
+				if n == d.node || !flows[n.Index].In.Has(i) {
+					continue
+				}
+				for _, obj := range objs {
+					if obj == d.obj && (over == nil || n.Stmt.Pos() < over.Stmt.Pos()) {
+						over = n
+					}
+				}
+			}
+			if over != nil {
+				p.Reportf(d.pos, "deaderr",
+					"the error assigned to %s is overwritten at line %d before it is ever read",
+					d.name, p.Fset.Position(over.Stmt.Pos()).Line)
+			} else if flows[g.Exit.Index].In.Has(i) {
+				p.Reportf(d.pos, "deaderr",
+					"the error assigned to %s is never read; handle it or assign the call to _", d.name)
+			}
+			continue
+		}
+		// Read on some path: flag returns a still-unread definition
+		// reaches on another — but only returns inside the variable's
+		// scope. A scope-confined guard like
+		// `if cerr := f.Close(); werr == nil { werr = cerr }` reaches the
+		// function's return with cerr unread on the werr != nil path by
+		// deliberate construction: the branch priority is the idiom.
+		scope := d.obj.Parent()
+		for _, n := range g.Nodes {
+			if _, isRet := n.Stmt.(*ast.ReturnStmt); !isRet {
+				continue
+			}
+			if scope != nil && !scope.Contains(n.Stmt.Pos()) {
+				continue
+			}
+			reachesExit := false
+			for _, s := range n.Succs {
+				if s == g.Exit {
+					reachesExit = true
+				}
+			}
+			if reachesExit && flows[n.Index].Out.Has(i) {
+				p.Reportf(n.Stmt.Pos(), "deaderr",
+					"this return discards the error in %s (assigned at line %d) without reading it, though another path does",
+					d.name, p.Fset.Position(d.pos).Line)
+			}
+		}
+	}
+}
+
+// containsCall reports whether e contains a function or method call —
+// the definition filter: only call results are "errors someone produced
+// for you to check".
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// stmtOwnedReads returns the expressions a CFG node's statement
+// evaluates itself — compound statements own only their headers (their
+// bodies are separate nodes), and plain-identifier assignment targets
+// are writes rather than reads.
+func stmtOwnedReads(s ast.Stmt) []ast.Expr {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		out := append([]ast.Expr(nil), s.Rhs...)
+		for _, l := range s.Lhs {
+			if _, isIdent := l.(*ast.Ident); !isIdent {
+				out = append(out, l)
+			}
+		}
+		return out
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.ReturnStmt:
+		return s.Results
+	case *ast.IfStmt:
+		return []ast.Expr{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Expr{s.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Expr{s.Tag}
+		}
+	case *ast.CaseClause:
+		return s.List
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	case *ast.IncDecStmt:
+		return []ast.Expr{s.X}
+	case *ast.DeferStmt:
+		return []ast.Expr{s.Call}
+	case *ast.GoStmt:
+		return []ast.Expr{s.Call}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}

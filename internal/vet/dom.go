@@ -1,0 +1,133 @@
+package vet
+
+// Dominance and postdominance on the CFG, computed with the classic
+// iterative bitset dataflow:
+//
+//	dom(entry) = {entry}
+//	dom(n)     = {n} ∪ ⋂ dom(p) over predecessors p
+//
+// to fixpoint, iterating in a deterministic node order. Function CFGs
+// are small (tens of nodes), so the O(n²) bitset formulation is both
+// simple and fast; no Lengauer-Tarjan needed.
+
+// DomTree answers dominance queries for one direction (forward from
+// Entry = dominators; on the reversed graph from Exit = postdominators).
+type DomTree struct {
+	g *Graph
+	// dom[i] = bitset of nodes dominating node i. Nodes unreachable from
+	// the root have a nil set: dominance is undefined for them.
+	dom []BitSet
+}
+
+// Dominators computes the dominator tree: a dominates b iff every path
+// from Entry to b passes through a.
+func Dominators(g *Graph) *DomTree {
+	return solveDom(g, g.Entry, func(n *Node) []*Node { return n.Preds }, func(n *Node) []*Node { return n.Succs })
+}
+
+// PostDominators computes the postdominator tree: a postdominates b iff
+// every path from b to Exit passes through a. Nodes with no path to
+// Exit (infinite loops, blocked selects) are unreachable in the reverse
+// graph and report false for every query.
+func PostDominators(g *Graph) *DomTree {
+	return solveDom(g, g.Exit, func(n *Node) []*Node { return n.Succs }, func(n *Node) []*Node { return n.Preds })
+}
+
+// solveDom runs the iterative algorithm from root, where preds/succs
+// are the edge accessors of the (possibly reversed) graph.
+func solveDom(g *Graph, root *Node, preds, succs func(*Node) []*Node) *DomTree {
+	t := &DomTree{g: g, dom: make([]BitSet, len(g.Nodes))}
+	n := len(g.Nodes)
+
+	// Reachability first: unreachable nodes keep nil sets.
+	reach := make([]bool, n)
+	stack := []*Node{root}
+	reach[root.Index] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs(cur) {
+			if !reach[s.Index] {
+				reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	full := NewBitSet(n)
+	for i := 0; i < n; i++ {
+		if reach[i] {
+			full.Set(i)
+		}
+	}
+	for _, nd := range g.Nodes {
+		if !reach[nd.Index] {
+			continue
+		}
+		if nd == root {
+			t.dom[nd.Index] = NewBitSet(n)
+			t.dom[nd.Index].Set(nd.Index)
+		} else {
+			t.dom[nd.Index] = full.Clone()
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, nd := range g.Nodes {
+			if !reach[nd.Index] || nd == root {
+				continue
+			}
+			next := full.Clone()
+			any := false
+			for _, p := range preds(nd) {
+				if t.dom[p.Index] == nil {
+					continue // unreachable predecessor contributes nothing
+				}
+				next.IntersectWith(t.dom[p.Index])
+				any = true
+			}
+			if !any {
+				next = NewBitSet(n)
+			}
+			next.Set(nd.Index)
+			if !next.Equal(t.dom[nd.Index]) {
+				t.dom[nd.Index] = next
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// Dominates reports whether a dominates (or postdominates) b. Every
+// reachable node dominates itself; queries involving unreachable nodes
+// are false.
+func (t *DomTree) Dominates(a, b *Node) bool {
+	d := t.dom[b.Index]
+	return d != nil && d.Has(a.Index)
+}
+
+// Idom returns the immediate dominator of n: the unique strict
+// dominator dominated by every other strict dominator. Nil for the
+// root, and for unreachable nodes.
+func (t *DomTree) Idom(n *Node) *Node {
+	d := t.dom[n.Index]
+	if d == nil {
+		return nil
+	}
+	var best *Node
+	bestCount := -1
+	for _, m := range t.g.Nodes {
+		if m == n || !d.Has(m.Index) {
+			continue
+		}
+		// Among strict dominators the immediate one has the largest
+		// dominator set (it is dominated by all the others).
+		if c := t.dom[m.Index].Count(); c > bestCount {
+			best, bestCount = m, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,215 @@
+package vet
+
+// Generic dataflow over the CFG: small fact lattices encoded as bitsets,
+// monotone transfer functions, worklist iteration to fixpoint. Forward
+// and backward directions share one solver (backward runs on the
+// reversed edge accessors).
+
+// BitSet is a fixed-width bitset — the fact lattice element. The zero
+// value of width 0 is usable as an always-empty set.
+type BitSet []uint64
+
+// NewBitSet returns an empty set able to hold facts [0, n).
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds fact i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes fact i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether fact i is present.
+func (b BitSet) Has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Clone copies the set.
+func (b BitSet) Clone() BitSet {
+	out := make(BitSet, len(b))
+	copy(out, b)
+	return out
+}
+
+// UnionWith adds o's facts, reporting whether b changed.
+func (b BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i := range b {
+		if i >= len(o) {
+			break
+		}
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith keeps only facts also in o.
+func (b BitSet) IntersectWith(o BitSet) {
+	for i := range b {
+		if i >= len(o) {
+			b[i] = 0
+			continue
+		}
+		b[i] &= o[i]
+	}
+}
+
+// Equal reports set equality (widths must match by construction).
+func (b BitSet) Equal(o BitSet) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no fact is set.
+func (b BitSet) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of facts set.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Problem is one dataflow instance on a Graph.
+type Problem struct {
+	// Backward solves over reversed edges (facts flow exit → entry).
+	Backward bool
+	// Facts is the lattice width (number of distinct facts).
+	Facts int
+	// Must selects intersection meet (a fact holds only if it holds on
+	// every incoming path). Default is union meet (may: any path).
+	Must bool
+	// Transfer computes the node's output facts from its input facts.
+	// It must be monotone (growing in never shrinks out) or the solver
+	// may not terminate. in is read-only; return a fresh or cached set.
+	Transfer func(n *Node, in BitSet) BitSet
+	// Boundary is the fact set at the root (Entry forward, Exit
+	// backward). Nil means empty.
+	Boundary BitSet
+}
+
+// Flow holds the fixpoint fact sets around one node.
+type Flow struct {
+	In  BitSet // facts on entry to the node (exit, when Backward)
+	Out BitSet // facts after the node's transfer
+}
+
+// Solve iterates p to fixpoint and returns the per-node flows, indexed
+// by Node.Index. Iteration order is the deterministic Nodes order, so
+// the fixpoint — and any diagnostics derived from it — is byte-stable
+// run to run.
+func Solve(g *Graph, p Problem) []Flow {
+	root := g.Entry
+	in := func(n *Node) []*Node { return n.Preds }
+	if p.Backward {
+		root = g.Exit
+		in = func(n *Node) []*Node { return n.Succs }
+	}
+
+	flows := make([]Flow, len(g.Nodes))
+	for i := range flows {
+		flows[i].In = NewBitSet(p.Facts)
+		flows[i].Out = NewBitSet(p.Facts)
+	}
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = NewBitSet(p.Facts)
+	}
+
+	// For must-problems, uninitialized interior nodes start at ⊤ (all
+	// facts) so the first meet does not spuriously erase facts.
+	if p.Must {
+		for i := range flows {
+			if g.Nodes[i] == root {
+				continue
+			}
+			for w := range flows[i].In {
+				flows[i].In[w] = ^uint64(0)
+			}
+		}
+	}
+	flows[root.Index].In = boundary.Clone()
+
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range g.Nodes {
+			f := &flows[n.Index]
+			if n != root {
+				var meet BitSet
+				if p.Must {
+					meet = NewBitSet(p.Facts)
+					for w := range meet {
+						meet[w] = ^uint64(0)
+					}
+					preds := in(n)
+					if len(preds) == 0 {
+						meet = NewBitSet(p.Facts)
+					}
+					for _, m := range preds {
+						meet.IntersectWith(flows[m.Index].Out)
+					}
+				} else {
+					meet = NewBitSet(p.Facts)
+					for _, m := range in(n) {
+						meet.UnionWith(flows[m.Index].Out)
+					}
+				}
+				if !meet.Equal(f.In) {
+					f.In = meet
+					changed = true
+				}
+			}
+			out := p.Transfer(n, f.In)
+			if !out.Equal(f.Out) {
+				f.Out = out.Clone()
+				changed = true
+			}
+		}
+	}
+	return flows
+}
+
+// GenKill builds the standard gen/kill transfer: out = (in \ kill) ∪ gen.
+// gen and kill may be nil maps or have nil entries (treated as empty).
+func GenKill(gen, kill map[*Node]BitSet, width int) func(n *Node, in BitSet) BitSet {
+	return func(n *Node, in BitSet) BitSet {
+		out := in.Clone()
+		if k := kill[n]; k != nil {
+			for i := range out {
+				if i < len(k) {
+					out[i] &^= k[i]
+				}
+			}
+		}
+		if g := gen[n]; g != nil {
+			out.UnionWith(g)
+		}
+		if out == nil {
+			out = NewBitSet(width)
+		}
+		return out
+	}
+}

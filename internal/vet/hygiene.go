@@ -1,0 +1,286 @@
+package vet
+
+// The syntactic hygiene checks: globalrand, ignorederr, nakedgo,
+// regcopy. Migrated verbatim from cmd/vetguard's original checker
+// except where noted; ignorederr additionally covers defer and go
+// statements, whose discarded errors vanish with no caller to notice.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	register(Check{
+		Name: "globalrand",
+		Doc:  "call through the global math/rand source in non-test code",
+		Run:  runGlobalRand,
+	})
+	register(Check{
+		Name: "ignorederr",
+		Doc:  "call (plain, deferred, or go) whose error result is silently discarded",
+		Run:  runIgnoredErr,
+	})
+	register(Check{
+		Name: "nakedgo",
+		Doc:  "go statement outside the worker-pool and server packages",
+		Run:  runNakedGo,
+	})
+	register(Check{
+		Name: "regcopy",
+		Doc:  "by-value move of a type holding sync or sync/atomic state",
+		Run:  runRegCopy,
+	})
+}
+
+// --- check: nakedgo ---
+
+// nakedGoExempt lists the packages allowed to use raw `go` statements:
+// the worker pool itself, and the two HTTP server packages (the debug
+// server and the validation daemon) whose goroutines live for the whole
+// process — http.Server owns its lifecycle, so routing it through a
+// par.Pool would add nothing.
+var nakedGoExempt = []string{"internal/par", "internal/obs/debug", "internal/serve"}
+
+// runNakedGo flags `go` statements outside the exempt packages. All
+// pipeline concurrency must route through the worker pool: the pool is
+// what carries the ordered-collection, cancellation, and
+// panic-propagation guarantees that keep parallel synthesis
+// deterministic and debuggable.
+func runNakedGo(p *Pass) {
+	for _, e := range nakedGoExempt {
+		if p.PkgPath == e || strings.HasSuffix(p.PkgPath, "/"+e) {
+			return
+		}
+	}
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			p.Reportf(gs.Pos(), "nakedgo",
+				"naked go statement outside internal/par; submit the work to a par.Pool (or par.Map) so it inherits ordering, cancellation, and panic propagation")
+		}
+		return true
+	})
+}
+
+// --- check: globalrand ---
+
+// constructors of independent sources are the legitimate uses of the
+// package-level API; everything else draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// runGlobalRand flags calls through the math/rand package object itself
+// (rand.Intn, rand.Shuffle, ...): library code must draw from a seeded
+// *rand.Rand so experiments are reproducible.
+func runGlobalRand(p *Pass) {
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := p.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkg.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if randConstructors[sel.Sel.Name] {
+			return true
+		}
+		p.Reportf(call.Pos(), "globalrand",
+			"call to global %s.%s breaks seeded reproducibility; draw from a *rand.Rand built with rand.New(rand.NewSource(seed))",
+			path, sel.Sel.Name)
+		return true
+	})
+}
+
+// --- check: ignorederr ---
+
+// fmtPrinters are fmt functions whose error returns are discarded by
+// convention (writes to stdout/stderr); mirroring errcheck's defaults.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// runIgnoredErr flags statements whose (last) call result is an error
+// nobody looks at, in three statement forms:
+//
+//   - an expression statement: f() — the original check;
+//   - a defer statement: defer f.Close() — the error vanishes when the
+//     function returns, precisely when a flush/close failure matters;
+//   - a go statement: go f() — the error vanishes on a goroutine no one
+//     joins.
+//
+// The deliberate-discard idiom `defer func() { _ = f.Close() }()` (and
+// the plain `_ = f()`) assigns the result away explicitly and is not a
+// silent discard, so it is the sanctioned escape hatch alongside
+// //vetguard:ignore.
+func runIgnoredErr(p *Pass) {
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				p.checkDiscardedError(call, "")
+			}
+		case *ast.DeferStmt:
+			p.checkDiscardedError(n.Call, "deferred call ")
+		case *ast.GoStmt:
+			p.checkDiscardedError(n.Call, "goroutine call ")
+		}
+		return true
+	})
+}
+
+// checkDiscardedError flags call if its final result is a discarded
+// error and no allowlist entry applies. kind prefixes the message for
+// the defer/go statement forms.
+func (p *Pass) checkDiscardedError(call *ast.CallExpr, kind string) {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	returnsErr := false
+	switch tt := t.(type) {
+	case *types.Tuple:
+		if tt.Len() > 0 {
+			returnsErr = isErrorType(tt.At(tt.Len() - 1).Type())
+		}
+	default:
+		returnsErr = isErrorType(t)
+	}
+	if !returnsErr || p.errExempt(call) {
+		return
+	}
+	p.Reportf(call.Pos(), "ignorederr", "result of %s%s returns an error that is silently discarded", kind, calleeName(call))
+}
+
+// errExempt reports whether call's discarded error is conventionally
+// safe: the fmt print family and methods on in-memory builders that
+// document a nil error.
+func (p *Pass) errExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, ok := p.Info.Uses[selIdent(sel)].(*types.PkgName); ok {
+		if pkg.Imported().Path() == "fmt" && fmtPrinters[sel.Sel.Name] {
+			return true
+		}
+		return false
+	}
+	if s, ok := p.Info.Selections[sel]; ok {
+		recv := s.Recv().String()
+		if strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// --- check: regcopy ---
+
+// runRegCopy flags receivers, parameters, and results that move a value
+// holding sync state (a sync.Mutex, sync.WaitGroup, atomic.Int64, ...)
+// by value, plus `for _, v := range xs` iterations copying such a value
+// out of a collection. Copying forks the value's internal registers —
+// the copy's lock word or counter diverges from the original's, which
+// silently breaks mutual exclusion. go vet's copylocks covers
+// assignments; this covers the signature and range surfaces, where the
+// copy is implied rather than written.
+func runRegCopy(p *Pass) {
+	for _, decl := range p.File.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		flag := func(fl *ast.FieldList, kind string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				t := p.Info.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if holder := syncStateName(t, nil); holder != "" {
+					p.Reportf(field.Pos(), "regcopy",
+						"%s of %s is passed by value, copying the %s it holds; use a pointer",
+						kind, fn.Name.Name, holder)
+				}
+			}
+		}
+		flag(fn.Recv, "receiver")
+		flag(fn.Type.Params, "parameter")
+		flag(fn.Type.Results, "result")
+	}
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.Value == nil || rs.Tok != token.DEFINE {
+			return true
+		}
+		t := p.Info.TypeOf(rs.Value)
+		if t == nil {
+			return true
+		}
+		if holder := syncStateName(t, nil); holder != "" {
+			p.Reportf(rs.Value.Pos(), "regcopy",
+				"range value copies the %s held by each element; iterate by index or store pointers", holder)
+		}
+		return true
+	})
+}
+
+// syncStateName reports the first sync-state type reachable from t by
+// value ("" if none): a non-interface named type from sync or
+// sync/atomic, found directly, in a struct field, or in an array
+// element. Pointers, slices, maps, and channels share state rather than
+// copy it, so they are not descended into. The seen set guards against
+// recursive types.
+func syncStateName(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		if obj := tt.Obj(); obj != nil && obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			if path == "sync" || path == "sync/atomic" {
+				// sync.Locker and friends are interfaces: copying an
+				// interface value copies a reference, not the state.
+				if _, isIface := tt.Underlying().(*types.Interface); !isIface {
+					return path + "." + obj.Name()
+				}
+				return ""
+			}
+		}
+		return syncStateName(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name := syncStateName(tt.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return syncStateName(tt.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,311 @@
+package vet
+
+// lockbalance: a forward may-analysis that flags paths on which a
+// sync.Mutex / sync.RWMutex acquired in a function is still held when
+// the function exits. The classic shape is an early return added
+// between Lock and Unlock:
+//
+//	mu.Lock()
+//	if cond {
+//		return err // mu still held — every later caller deadlocks
+//	}
+//	mu.Unlock()
+//
+// Facts are "lock root R is held (write / read)". Lock/RLock generate
+// the fact, Unlock/RUnlock kill it, and a defer that unlocks —
+// directly (defer mu.Unlock()) or inside a deferred function literal —
+// kills it too, since from the defer statement onward every exit runs
+// the unlock. A may-analysis fact surviving to an exit predecessor
+// means at least one path reaches that return/fall-through with the
+// lock held.
+//
+// Before solving, a postdominance fast path discharges the common
+// balanced case: if every acquisition site of a root is postdominated
+// by some release site of that root, no path can leak it, and the root
+// is dropped from the lattice (when all roots are discharged the solve
+// is skipped entirely).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(Check{
+		Name: "lockbalance",
+		Doc:  "sync.Mutex/RWMutex held on some path to return without Unlock",
+		Run:  runLockBalance,
+	})
+}
+
+// lockOpKind distinguishes acquire/release and write/read flavors.
+type lockOpKind uint8
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// lockOp is one Lock/Unlock-family call resolved to its receiver root.
+type lockOp struct {
+	kind lockOpKind
+	root string // printable receiver expression, e.g. "s.mu"
+	node *Node  // CFG node of the owning statement
+	pos  token.Pos
+}
+
+// lockMethodKind classifies sel's method if it is one of the
+// sync mutex lock/unlock methods (TryLock/TryRLock are conditional
+// acquisitions and are deliberately not modeled).
+func (p *Pass) lockMethodKind(sel *ast.SelectorExpr) (lockOpKind, bool) {
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = opLock
+	case "Unlock":
+		kind = opUnlock
+	case "RLock":
+		kind = opRLock
+	case "RUnlock":
+		kind = opRUnlock
+	default:
+		return 0, false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return 0, false
+	}
+	obj := s.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return 0, false
+	}
+	// sync.Locker's methods have an interface receiver; only the concrete
+	// *Mutex / *RWMutex methods are modeled.
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return 0, false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return kind, true
+	}
+	return 0, false
+}
+
+// runLockBalance analyzes each function body independently; a lock
+// acquired in one function and released in another (hand-off APIs like
+// lock helpers) is out of scope and produces no finding, because the
+// receiver root never matches a release in the same body.
+func runLockBalance(p *Pass) {
+	for _, fb := range p.funcBodies() {
+		p.lockBalanceBody(fb.body)
+	}
+}
+
+func (p *Pass) lockBalanceBody(body *ast.BlockStmt) {
+	g := p.CFG(body)
+
+	// Collect lock operations lexically in this body. A release inside a
+	// deferred function literal counts as a defer-release of the defer
+	// statement's node; literals that are not deferred run at some
+	// unknowable time and are ignored (their own body gets its own
+	// analysis).
+	var ops []lockOp
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			node := g.NodeOf(ast.Stmt(n))
+			if node == nil {
+				return true
+			}
+			for _, rel := range p.deferredReleases(n) {
+				rel.node = node
+				ops = append(ops, rel)
+			}
+			return false // the deferred call's interior is handled above
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := p.lockMethodKind(sel)
+			if !ok {
+				return true
+			}
+			if node := g.NodeAt(n.Pos()); node != nil {
+				ops = append(ops, lockOp{kind: kind, root: types.ExprString(sel.X), node: node, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	if len(ops) == 0 {
+		return
+	}
+
+	// Index roots: two facts per root, write-held and read-held.
+	rootIdx := map[string]int{}
+	var roots []string
+	for _, op := range ops {
+		if _, ok := rootIdx[op.root]; !ok {
+			rootIdx[op.root] = len(roots)
+			roots = append(roots, op.root)
+		}
+	}
+	factOf := func(op lockOp) int {
+		i := rootIdx[op.root] * 2
+		if op.kind == opRLock || op.kind == opRUnlock {
+			i++
+		}
+		return i
+	}
+
+	// Postdominance fast path: a root whose every acquisition is
+	// postdominated by some release of the same flavor cannot leak —
+	// every path from the acquisition to Exit passes the release after
+	// the acquisition.
+	pdom := p.PostDom(g)
+	discharged := map[string]bool{}
+	for _, root := range roots {
+		ok := true
+		for _, acq := range ops {
+			if acq.root != root || (acq.kind != opLock && acq.kind != opRLock) {
+				continue
+			}
+			covered := false
+			for _, rel := range ops {
+				if rel.root != root || rel.node == acq.node {
+					continue
+				}
+				match := (acq.kind == opLock && rel.kind == opUnlock) ||
+					(acq.kind == opRLock && rel.kind == opRUnlock)
+				if match && pdom.Dominates(rel.node, acq.node) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				ok = false
+				break
+			}
+		}
+		discharged[root] = ok
+	}
+	allClear := true
+	for _, root := range roots {
+		if !discharged[root] {
+			allClear = false
+		}
+	}
+	if allClear {
+		return
+	}
+
+	width := len(roots) * 2
+	gen := map[*Node]BitSet{}
+	kill := map[*Node]BitSet{}
+	firstAcq := map[int]token.Pos{} // fact -> earliest acquisition position
+	for _, op := range ops {
+		if discharged[op.root] {
+			continue
+		}
+		f := factOf(op)
+		switch op.kind {
+		case opLock, opRLock:
+			if gen[op.node] == nil {
+				gen[op.node] = NewBitSet(width)
+			}
+			gen[op.node].Set(f)
+			if prev, ok := firstAcq[f]; !ok || op.pos < prev {
+				firstAcq[f] = op.pos
+			}
+		case opUnlock, opRUnlock:
+			if kill[op.node] == nil {
+				kill[op.node] = NewBitSet(width)
+			}
+			kill[op.node].Set(f)
+		}
+	}
+	if len(gen) == 0 {
+		return
+	}
+
+	flows := Solve(g, Problem{
+		Facts:    width,
+		Transfer: GenKill(gen, kill, width),
+	})
+
+	// Report once per (exit predecessor, fact): the path reaches this
+	// return / fall-through with the lock held.
+	for _, n := range g.Nodes {
+		exits := false
+		for _, s := range n.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits || n == g.Entry {
+			continue
+		}
+		out := flows[n.Index].Out
+		for f := 0; f < width; f++ {
+			if !out.Has(f) {
+				continue
+			}
+			root := roots[f/2]
+			verb := "Lock"
+			unlock := "Unlock"
+			if f%2 == 1 {
+				verb, unlock = "RLock", "RUnlock"
+			}
+			p.Reportf(n.Pos(), "lockbalance",
+				"%s.%s (line %d) is still held when this path returns; call %s.%s before returning or defer it",
+				root, verb, p.Fset.Position(firstAcq[f]).Line, root, unlock)
+		}
+	}
+}
+
+// deferredReleases extracts the releases a defer statement performs:
+// either the deferred call itself (defer mu.Unlock()) or unlock calls
+// inside a deferred function literal (defer func() { ...; mu.Unlock() }()).
+// Acquisitions inside a defer are not modeled — locking on the way out
+// is a hand-off pattern this per-body analysis does not track.
+func (p *Pass) deferredReleases(d *ast.DeferStmt) []lockOp {
+	var out []lockOp
+	collect := func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		kind, ok := p.lockMethodKind(sel)
+		if !ok || (kind != opUnlock && kind != opRUnlock) {
+			return
+		}
+		out = append(out, lockOp{kind: kind, root: types.ExprString(sel.X), pos: call.Pos()})
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				collect(call)
+			}
+			return true
+		})
+		return out
+	}
+	collect(d.Call)
+	return out
+}

@@ -1,0 +1,215 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic: the shape drivers render as
+// "file:line:col: [check] message" or as a -json record.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, check name, then
+// message — a total order independent of package walk order, check
+// registration order, and map iteration, so emission is byte-stable no
+// matter how the driver collected them.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Pass is the per-file analysis context handed to every check: the
+// parsed file, the package's type information, and memoized CFGs and
+// dominator trees shared by the flow-sensitive checks.
+type Pass struct {
+	Fset    *token.FileSet
+	Info    *types.Info
+	File    *ast.File
+	PkgPath string
+
+	findings []Finding
+	cfgs     map[*ast.BlockStmt]*Graph
+	doms     map[*Graph]*DomTree
+	postdoms map[*Graph]*DomTree
+}
+
+// NewPass builds a Pass for one file of a typechecked package.
+func NewPass(fset *token.FileSet, info *types.Info, file *ast.File, pkgPath string) *Pass {
+	return &Pass{
+		Fset: fset, Info: info, File: file, PkgPath: pkgPath,
+		cfgs: map[*ast.BlockStmt]*Graph{}, doms: map[*Graph]*DomTree{}, postdoms: map[*Graph]*DomTree{},
+	}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// CFG returns the memoized control-flow graph of body.
+func (p *Pass) CFG(body *ast.BlockStmt) *Graph {
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	g := Build(body)
+	p.cfgs[body] = g
+	return g
+}
+
+// Dom returns the memoized dominator tree of g.
+func (p *Pass) Dom(g *Graph) *DomTree {
+	if t, ok := p.doms[g]; ok {
+		return t
+	}
+	t := Dominators(g)
+	p.doms[g] = t
+	return t
+}
+
+// PostDom returns the memoized postdominator tree of g.
+func (p *Pass) PostDom(g *Graph) *DomTree {
+	if t, ok := p.postdoms[g]; ok {
+		return t
+	}
+	t := PostDominators(g)
+	p.postdoms[g] = t
+	return t
+}
+
+// funcBodies enumerates every function-like body in the file — each
+// FuncDecl body and each function literal — paired with a printable
+// name. Flow-sensitive checks analyze each body against its own CFG;
+// a literal's statements never appear in its enclosing body's graph.
+type funcBody struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+}
+
+func (p *Pass) funcBodies() []funcBody {
+	var out []funcBody
+	for _, decl := range p.File.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{name: fn.Name.Name, decl: fn, body: fn.Body})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcBody{name: fn.Name.Name + ".func", body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks the statements of body without descending into
+// nested function literals: the shape flow-sensitive checks want, since
+// a literal's statements belong to its own CFG.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// Check is one registered analysis.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+var registry []Check
+
+// register adds a check at package init.
+func register(c Check) { registry = append(registry, c) }
+
+// Checks returns the registered checks sorted by name.
+func Checks() []Check {
+	out := append([]Check(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RunChecks runs every registered check over one file and returns the
+// findings (unsorted; drivers sort the cross-package aggregate with
+// SortFindings).
+func RunChecks(fset *token.FileSet, info *types.Info, file *ast.File, pkgPath string) []Finding {
+	p := NewPass(fset, info, file, pkgPath)
+	for _, c := range Checks() {
+		c.Run(p)
+	}
+	return p.findings
+}
+
+// --- small shared helpers ---
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeName renders the called expression for messages.
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+func selIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+// rootIdent unwinds a receiver chain (a.B().C.D(...)) to its leftmost
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
