@@ -10,6 +10,14 @@
 // median ns/op of each worker count is compared against workers=1, emitted
 // as a GitHub-flavored markdown table for the job summary. Only the
 // standard library is used.
+//
+// With -serve-report, the exact request-latency histograms from a
+// `guardrail serve ... -report report.json` run are folded into the same
+// record as a `serve` section (p50/p99/p999/max per metric and label
+// set), and -in-json extends an already-written BENCH_*.json in place:
+//
+//	benchjson -in "" -in-json BENCH_2026-08-05.json \
+//	  -serve-report serve-report.json -out BENCH_2026-08-05.json
 package main
 
 import (
@@ -43,45 +51,88 @@ type Benchmark struct {
 	MedianNs float64 `json:"median_ns_per_op"`
 }
 
+// ServeLatency is one exact serving histogram lifted out of a
+// `guardrail serve -report` run report: the daemon's request-latency
+// distribution keyed by metric name and label set, reduced to the
+// trend-tracked tail quantiles. Quantiles are nearest-rank upper bounds
+// from the exact log-linear buckets (≤1/32 relative error), so they are
+// comparable run-to-run without sampling noise.
+type ServeLatency struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  int64             `json:"count"`
+	MeanNs float64           `json:"mean_ns"`
+	P50Ns  int64             `json:"p50_ns"`
+	P99Ns  int64             `json:"p99_ns"`
+	P999Ns int64             `json:"p999_ns"`
+	MaxNs  int64             `json:"max_ns"`
+}
+
 // Report is the archived JSON document.
 type Report struct {
-	Date       string      `json:"date"`
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Date       string         `json:"date"`
+	Goos       string         `json:"goos,omitempty"`
+	Goarch     string         `json:"goarch,omitempty"`
+	Pkg        string         `json:"pkg,omitempty"`
+	CPU        string         `json:"cpu,omitempty"`
+	Benchmarks []Benchmark    `json:"benchmarks"`
+	Serve      []ServeLatency `json:"serve,omitempty"`
 }
 
 func main() {
-	in := flag.String("in", "-", "bench output file; - reads stdin")
+	in := flag.String("in", "-", "bench output file; - reads stdin, empty skips bench input")
+	inJSON := flag.String("in-json", "", "existing BENCH_*.json to extend instead of starting fresh")
+	serveReport := flag.String("serve-report", "", "serve run-report JSON (-report output) whose exact histograms become the serve section")
 	out := flag.String("out", "", "output JSON path (default BENCH_<utc-date>.json)")
 	date := flag.String("date", "", "date stamp for the record (default today, UTC)")
 	summary := flag.Bool("summary", false, "print a serial-vs-parallel markdown summary to stdout")
 	flag.Parse()
 
-	if err := run(*in, *out, *date, *summary); err != nil {
+	if err := run(*in, *inJSON, *serveReport, *out, *date, *summary); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, date string, summary bool) error {
-	var r io.Reader = os.Stdin
-	if in != "-" {
-		f, err := os.Open(in)
+func run(in, inJSON, serveReport, out, date string, summary bool) error {
+	rep := &Report{}
+	if inJSON != "" {
+		data, err := os.ReadFile(inJSON)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = f.Close() }() // read side: Close error carries no data
-		r = f
+		if err := json.Unmarshal(data, rep); err != nil {
+			return fmt.Errorf("parse %s: %w", inJSON, err)
+		}
 	}
-	rep, err := Parse(r)
-	if err != nil {
-		return err
+	if in != "" {
+		var r io.Reader = os.Stdin
+		if in != "-" {
+			f, err := os.Open(in)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }() // read side: Close error carries no data
+			r = f
+		}
+		parsed, err := Parse(r)
+		if err != nil {
+			return err
+		}
+		if rep.Goos == "" {
+			rep.Goos, rep.Goarch, rep.Pkg, rep.CPU = parsed.Goos, parsed.Goarch, parsed.Pkg, parsed.CPU
+		}
+		rep.Benchmarks = append(rep.Benchmarks, parsed.Benchmarks...)
 	}
-	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines found in %s", in)
+	if serveReport != "" {
+		serve, err := LoadServeReport(serveReport)
+		if err != nil {
+			return err
+		}
+		rep.Serve = append(rep.Serve, serve...)
+	}
+	if len(rep.Benchmarks) == 0 && len(rep.Serve) == 0 {
+		return fmt.Errorf("no benchmark lines or serve histograms found")
 	}
 	if date == "" {
 		date = time.Now().UTC().Format("2006-01-02")
@@ -97,11 +148,88 @@ func run(in, out, date string, summary bool) error {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks, %d serve histograms to %s\n",
+		len(rep.Benchmarks), len(rep.Serve), out)
 	if summary {
 		fmt.Print(Summary(rep))
 	}
 	return nil
+}
+
+// LoadServeReport extracts the exact-histogram section of an obs run
+// report (the `hists` array of HistSnapshot objects) into ServeLatency
+// records, sorted by name then label set. Empty histograms are skipped.
+// Only the fields benchjson needs are decoded; unknown fields — the
+// bucket arrays, counters, stages — are ignored.
+func LoadServeReport(path string) ([]ServeLatency, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Hists []struct {
+			Name   string `json:"name"`
+			Labels []struct {
+				Key   string `json:"key"`
+				Value string `json:"value"`
+			} `json:"labels"`
+			Count  int64 `json:"count"`
+			SumNS  int64 `json:"sum_ns"`
+			MaxNS  int64 `json:"max_ns"`
+			P50NS  int64 `json:"p50_ns"`
+			P99NS  int64 `json:"p99_ns"`
+			P999NS int64 `json:"p999_ns"`
+		} `json:"hists"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	out := make([]ServeLatency, 0, len(doc.Hists))
+	for _, h := range doc.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		s := ServeLatency{
+			Name:   h.Name,
+			Count:  h.Count,
+			MeanNs: float64(h.SumNS) / float64(h.Count),
+			P50Ns:  h.P50NS,
+			P99Ns:  h.P99NS,
+			P999Ns: h.P999NS,
+			MaxNs:  h.MaxNS,
+		}
+		if len(h.Labels) > 0 {
+			s.Labels = make(map[string]string, len(h.Labels))
+			for _, l := range h.Labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out, nil
+}
+
+// labelKey renders a label map as a deterministic sort key.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+		sb.WriteByte(',')
+	}
+	return sb.String()
 }
 
 // Parse reads `go test -bench` output. Benchmark lines look like
@@ -230,6 +358,7 @@ func Summary(rep *Report) string {
 	sb.WriteString("## Serial vs parallel (median ns/op)\n\n")
 	if len(order) == 0 {
 		sb.WriteString("No /workers= benchmark variants found.\n")
+		sb.WriteString(serveSummary(rep))
 		return sb.String()
 	}
 	sb.WriteString("| Benchmark | Workers | ns/op | Speedup vs serial |\n")
@@ -250,6 +379,30 @@ func Summary(rep *Report) string {
 			}
 			fmt.Fprintf(&sb, "| %s | %d | %.0f | %s |\n", base, v.workers, v.ns, speedup)
 		}
+	}
+	sb.WriteString(serveSummary(rep))
+	return sb.String()
+}
+
+// serveSummary renders the serve section, when present, as a latency
+// table for the job summary. Empty string otherwise.
+func serveSummary(rep *Report) string {
+	if len(rep.Serve) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("\n## Serve latency (exact histograms)\n\n")
+	sb.WriteString("| Metric | Labels | Count | p50 | p99 | p99.9 | max |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|---:|\n")
+	for _, s := range rep.Serve {
+		labels := strings.TrimSuffix(labelKey(s.Labels), ",")
+		if labels == "" {
+			labels = "—"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %d | %s | %s | %s | %s |\n",
+			s.Name, labels, s.Count,
+			time.Duration(s.P50Ns), time.Duration(s.P99Ns),
+			time.Duration(s.P999Ns), time.Duration(s.MaxNs))
 	}
 	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -11,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/guardrail-db/guardrail/internal/obs/debug"
 	"github.com/guardrail-db/guardrail/internal/serve"
 )
 
@@ -46,8 +48,9 @@ func (l *loadFlags) Set(v string) error {
 // cmdServe runs the long-running validation daemon: rows in over HTTP,
 // verdicts (or repaired rows) out, against a hot-reloadable program
 // registry. SIGTERM/SIGINT stop accepting and drain in-flight requests
-// with a deadline; a clean drain exits 0.
-func cmdServe(args []string) error {
+// with a deadline; a clean drain exits 0. SIGQUIT dumps the flight
+// recorder to stderr without stopping.
+func cmdServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
 	var loads loadFlags
@@ -59,12 +62,39 @@ func cmdServe(args []string) error {
 	driftWindow := fs.Int("drift-window", 256, "rows per drift window")
 	driftWindows := fs.Int("drift-windows", 8, "sliding ring capacity in windows")
 	driftAlpha := fs.Float64("drift-alpha", 1e-3, "per-variable drift p-value threshold")
+	accessLog := fs.String("access-log", "", "write one NDJSON record per request to this file (- for stderr)")
+	flightSize := fs.Int("flight", 256, "flight recorder capacity in requests (0 disables); dump via GET /debug/flight or SIGQUIT")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(loads) == 0 {
 		return fmt.Errorf("serve: at least one -load name=schema.csv,program.gr is required")
+	}
+
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, ferr := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("serve: open access log: %w", ferr)
+		}
+		// Named return: a close failure (full disk, NFS) must surface as
+		// a non-zero exit, not vanish into a deferred discard.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("serve: close access log: %w", cerr)
+			}
+		}()
+		accessW = f
+	}
+	// The CLI convention: 0 disables, unset means the library default
+	// ring; the library itself uses -1 to disable.
+	if *flightSize == 0 {
+		*flightSize = -1
 	}
 
 	reg, tr, finish, err := of.start("serve", *maxInflight)
@@ -92,6 +122,9 @@ func cmdServe(args []string) error {
 		DrainTimeout: *drain,
 		Obs:          reg,
 		Tracer:       tr,
+		AccessLog:    accessW,
+		FlightSize:   *flightSize,
+		FlightDump:   os.Stderr,
 		Drift: serve.DriftConfig{
 			Enabled:    *drift,
 			WindowRows: *driftWindow,
@@ -99,11 +132,15 @@ func cmdServe(args []string) error {
 			Alpha:      *driftAlpha,
 		},
 	})
+	// The daemon serves /debug/flight itself; mirroring it onto the
+	// -debug-addr sidecar server lets operators pull dumps without
+	// touching the serving port.
+	debug.Handle("/debug/flight", srv.FlightHandler())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", *addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "guardrail serve listening on http://%s (endpoints: /v1/check /v1/rectify /v1/programs /v1/drift /metrics /healthz)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "guardrail serve listening on http://%s (endpoints: /v1/check /v1/rectify /v1/programs /v1/drift /metrics /healthz /debug/flight)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

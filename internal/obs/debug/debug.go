@@ -13,7 +13,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/guardrail-db/guardrail/internal/obs"
@@ -43,6 +45,51 @@ func publish(reg *obs.Registry) {
 	})
 }
 
+// extras holds caller-registered handlers (e.g. the serve daemon's
+// /debug/flight). The live mux is rebuilt under the mutex and swapped
+// atomically, and every debug server consults it per request — so
+// registration works before or after Serve, and later registrations of
+// the same pattern win instead of panicking like ServeMux.Handle.
+var extras struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	mux      atomic.Pointer[http.ServeMux]
+}
+
+// Handle registers handler under pattern on every debug server, current
+// and future. Built-in routes (/metrics, /debug/vars, /debug/pprof/*)
+// take precedence over extras.
+func Handle(pattern string, handler http.Handler) {
+	extras.mu.Lock()
+	defer extras.mu.Unlock()
+	if extras.handlers == nil {
+		extras.handlers = map[string]http.Handler{}
+	}
+	extras.handlers[pattern] = handler
+	patterns := make([]string, 0, len(extras.handlers))
+	for p := range extras.handlers {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	mux := http.NewServeMux()
+	for _, p := range patterns {
+		mux.Handle(p, extras.handlers[p])
+	}
+	extras.mux.Store(mux)
+}
+
+// extrasHandler routes a request through the caller-registered handlers,
+// 404ing when nothing matches.
+func extrasHandler(w http.ResponseWriter, r *http.Request) {
+	if m := extras.mux.Load(); m != nil {
+		if h, pattern := m.Handler(r); pattern != "" {
+			h.ServeHTTP(w, r)
+			return
+		}
+	}
+	http.NotFound(w, r)
+}
+
 // Server is a running debug HTTP server.
 type Server struct {
 	// Addr is the resolved listen address (useful with ":0").
@@ -62,6 +109,7 @@ func Serve(addr string, reg *obs.Registry) (*Server, error) {
 	publish(reg)
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", extrasHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", metricsHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -194,3 +194,41 @@ func TestCloseDrainsInflightScrape(t *testing.T) {
 		t.Errorf("scrape body truncated or wrong:\n%s", got.body)
 	}
 }
+
+// TestHandleExtras: handlers registered with Handle are reachable on a
+// debug server whether registered before or after Serve, unknown paths
+// still 404, and built-in routes win over extras.
+func TestHandleExtras(t *testing.T) {
+	Handle("/debug/before", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("before"))
+	}))
+	s, err := Serve("127.0.0.1:0", obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	}()
+	Handle("/debug/after", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("after"))
+	}))
+
+	for path, want := range map[string]string{"/debug/before": "before", "/debug/after": "after"} {
+		code, body := get(t, "http://"+s.Addr+path)
+		if code != http.StatusOK || string(body) != want {
+			t.Errorf("GET %s = %d %q, want 200 %q", path, code, body, want)
+		}
+	}
+	if code, _ := get(t, "http://"+s.Addr+"/debug/missing"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+	// /metrics is a built-in and must not be shadowed by extras.
+	Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "shadowed", http.StatusTeapot)
+	}))
+	if code, _ := get(t, "http://"+s.Addr+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics = %d, want 200 (built-ins take precedence)", code)
+	}
+}

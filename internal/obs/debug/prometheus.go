@@ -3,6 +3,7 @@ package debug
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -33,9 +34,9 @@ func metricsHandler(w http.ResponseWriter, _ *http.Request) {
 }
 
 // WriteMetrics renders snap as Prometheus text exposition format. Output
-// is deterministic: families are grouped by kind (counters, gauges,
-// summaries) and sorted by name within each group, so the rendering is
-// golden-testable.
+// is deterministic: families are grouped by kind (counters, labeled
+// counters, gauges, exact histograms, summaries) and sorted by name (and
+// label values) within each group, so the rendering is golden-testable.
 func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 	names := make([]string, 0, len(snap.Counters))
 	for name := range snap.Counters {
@@ -47,6 +48,19 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[name])
 	}
 
+	// Labeled counter families: children arrive pre-sorted by name then
+	// label values, with each family's children adjacent — one TYPE line
+	// per family, one sample line per label set.
+	prevFamily := ""
+	for _, lc := range snap.LabeledCounters {
+		m := promName(lc.Name)
+		if m != prevFamily {
+			fmt.Fprintf(w, "# TYPE %s counter\n", m)
+			prevFamily = m
+		}
+		fmt.Fprintf(w, "%s%s %d\n", m, promLabels(lc.Labels, ""), lc.Value)
+	}
+
 	names = names[:0]
 	for name := range snap.Gauges {
 		names = append(names, name)
@@ -55,6 +69,32 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 	for _, name := range names {
 		m := promName(name)
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, snap.Gauges[name])
+	}
+
+	// Exact histograms render as classic cumulative histograms: one
+	// _bucket{le="..."} line per non-empty bucket (upper bounds converted
+	// from nanoseconds to seconds), a +Inf bucket equal to _count, and
+	// exact _sum/_count. Empty buckets are elided — cumulative counts at
+	// the rendered bounds are unaffected and the line count stays
+	// proportional to the latency spread, not the 1249-bucket layout.
+	prevFamily = ""
+	for _, hs := range snap.Hists {
+		m := promName(hs.Name) + "_seconds"
+		if m != prevFamily {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+			prevFamily = m
+		}
+		var cum int64
+		for _, b := range hs.Buckets {
+			cum += b.Count
+			if b.UpperNS == math.MaxInt64 {
+				continue // the overflow bucket is covered by +Inf below
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", m, promLabels(hs.Labels, promSeconds(b.UpperNS)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m, promLabelsInf(hs.Labels), hs.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", m, promLabels(hs.Labels, ""), promSeconds(hs.SumNS))
+		fmt.Fprintf(w, "%s_count%s %d\n", m, promLabels(hs.Labels, ""), hs.Count)
 	}
 
 	// Stage histograms record nanoseconds internally; Prometheus convention
@@ -71,6 +111,62 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 		fmt.Fprintf(w, "%s_sum %s\n", m, promSeconds(st.TotalNS))
 		fmt.Fprintf(w, "%s_count %d\n", m, st.Count)
 	}
+}
+
+// promLabels renders a label set as {k1="v1",...}, appending an le label
+// when le is non-empty. An empty label set with no le renders as "".
+func promLabels(labels []obs.Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelsInf is promLabels with le="+Inf" (which promLabels cannot
+// express since it escapes nothing into le).
+func promLabelsInf(labels []obs.Label) string {
+	return promLabels(labels, "+Inf")
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // promName maps a registry metric name onto the Prometheus namespace:

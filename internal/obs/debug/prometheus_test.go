@@ -23,6 +23,13 @@ func TestWriteMetricsGolden(t *testing.T) {
 	for i := int64(1); i <= 100; i++ {
 		h.Observe(i * 1000)
 	}
+	cv := reg.CounterVec("serve.endpoint.requests", "endpoint", "status")
+	cv.With("check", "429").Inc()
+	cv.With("check", "200").Add(5)
+	eh := reg.Exact("serve.request.check")
+	eh.Observe(10)  // single-value bucket: le 10 ns
+	eh.Observe(100) // log-linear bucket [100,101] ns
+	reg.HistogramVec("serve.request.latency", "endpoint").With("check").Observe(32)
 
 	var b strings.Builder
 	WriteMetrics(&b, reg.Snapshot())
@@ -30,8 +37,22 @@ func TestWriteMetricsGolden(t *testing.T) {
 guardrail_pc_ci_tests 42
 # TYPE guardrail_synth_dags counter
 guardrail_synth_dags 7
+# TYPE guardrail_serve_endpoint_requests counter
+guardrail_serve_endpoint_requests{endpoint="check",status="200"} 5
+guardrail_serve_endpoint_requests{endpoint="check",status="429"} 1
 # TYPE guardrail_synth_workers gauge
 guardrail_synth_workers 4
+# TYPE guardrail_serve_request_check_seconds histogram
+guardrail_serve_request_check_seconds_bucket{le="1e-08"} 1
+guardrail_serve_request_check_seconds_bucket{le="1.01e-07"} 2
+guardrail_serve_request_check_seconds_bucket{le="+Inf"} 2
+guardrail_serve_request_check_seconds_sum 1.1e-07
+guardrail_serve_request_check_seconds_count 2
+# TYPE guardrail_serve_request_latency_seconds histogram
+guardrail_serve_request_latency_seconds_bucket{endpoint="check",le="3.2e-08"} 1
+guardrail_serve_request_latency_seconds_bucket{endpoint="check",le="+Inf"} 1
+guardrail_serve_request_latency_seconds_sum{endpoint="check"} 3.2e-08
+guardrail_serve_request_latency_seconds_count{endpoint="check"} 1
 # TYPE guardrail_synth_learn_seconds summary
 guardrail_synth_learn_seconds{quantile="0.5"} 5e-05
 guardrail_synth_learn_seconds{quantile="0.9"} 9e-05
@@ -99,6 +120,35 @@ func TestPromName(t *testing.T) {
 		if got := promName(in); got != want {
 			t.Errorf("promName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestPromEscape pins label-value escaping per the exposition format.
+func TestPromEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":             "plain",
+		`quo"te`:            `quo\"te`,
+		`back\slash`:        `back\\slash`,
+		"new\nline":         `new\nline`,
+		`all"three\` + "\n": `all\"three\\\n`,
+	}
+	for in, want := range cases {
+		if got := promEscape(in); got != want {
+			t.Errorf("promEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteMetricsEscapedLabels: a hostile label value renders escaped,
+// keeping the exposition parseable.
+func TestWriteMetricsEscapedLabels(t *testing.T) {
+	reg := obs.New()
+	reg.CounterVec("esc", "dataset").With("we\"ird\nname").Inc()
+	var b strings.Builder
+	WriteMetrics(&b, reg.Snapshot())
+	want := "# TYPE guardrail_esc counter\nguardrail_esc{dataset=\"we\\\"ird\\nname\"} 1\n"
+	if got := b.String(); got != want {
+		t.Errorf("escaped rendering:\ngot  %q\nwant %q", got, want)
 	}
 }
 

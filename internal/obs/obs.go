@@ -153,6 +153,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	exacts   map[string]*Hist
+	cvecs    map[string]*CounterVec
+	hvecs    map[string]*HistogramVec
 }
 
 // New builds an empty registry.
@@ -161,6 +164,9 @@ func New() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		exacts:   map[string]*Hist{},
+		cvecs:    map[string]*CounterVec{},
+		hvecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -212,6 +218,64 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Exact returns the exact mergeable histogram registered under name,
+// creating it (with defaultHistShards writer shards) on first use. A nil
+// registry returns a nil (no-op) histogram. Unlike Histogram's bounded
+// ring, an exact histogram's quantiles cover every observation ever made
+// and its Observe path is lock-free — the serving hot path uses these.
+func (r *Registry) Exact(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.exacts[name]
+	if h == nil {
+		h = NewHist(defaultHistShards())
+		r.exacts[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the labeled counter family registered under name,
+// creating it with the given label keys on first use. Label keys are
+// fixed at first registration; later calls return the existing vector
+// regardless of the keys argument. A nil registry returns a nil vector.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.cvecs[name]
+	if v == nil {
+		v = &CounterVec{v: newVec(name, append([]string(nil), keys...), func() *Counter { return &Counter{} })}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the labeled exact-histogram family registered
+// under name, creating it with the given label keys on first use. A nil
+// registry returns a nil vector.
+func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.hvecs[name]
+	if v == nil {
+		shards := defaultHistShards()
+		v = &HistogramVec{
+			v:      newVec(name, append([]string(nil), keys...), func() *Hist { return NewHist(shards) }),
+			shards: shards,
+		}
+		r.hvecs[name] = v
+	}
+	return v
+}
+
 // quantile picks the q-quantile from sorted (nearest-rank).
 func quantile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
@@ -221,7 +285,16 @@ func quantile(sorted []int64, q float64) int64 {
 	return sorted[idx]
 }
 
-// histSnapshot reduces a histogram under its lock.
+// testHookSnapshotUnlocked, when non-nil, runs after snapshot has copied
+// the ring and released the histogram mutex, immediately before the
+// sort. The regression test for scrape-stalls-Observe calls Observe from
+// inside the hook — which deadlocks if the quantile work ever moves back
+// under the lock. Production leaves it nil.
+var testHookSnapshotUnlocked func()
+
+// histSnapshot reduces a histogram: the aggregate fields and the ring
+// copy are read under the lock, but the O(n log n) quantile sort runs
+// after release — a slow scrape must never stall hot-path Observes.
 func (h *Histogram) snapshot(name string) StageSnapshot {
 	h.mu.Lock()
 	s := StageSnapshot{
@@ -234,6 +307,9 @@ func (h *Histogram) snapshot(name string) StageSnapshot {
 	}
 	recent := append([]int64(nil), h.ring[:h.n]...)
 	h.mu.Unlock()
+	if hook := testHookSnapshotUnlocked; hook != nil {
+		hook()
+	}
 	sort.Slice(recent, func(i, j int) bool { return recent[i] < recent[j] })
 	s.P50NS = quantile(recent, 0.50)
 	s.P90NS = quantile(recent, 0.90)

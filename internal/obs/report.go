@@ -33,13 +33,18 @@ type StageSnapshot struct {
 	P99NS   int64  `json:"p99_ns"`
 }
 
-// Snapshot is a point-in-time copy of a registry. Counters are
-// schedule-independent and identical across worker counts on the same
-// seed; gauges and stages may legitimately differ between runs.
+// Snapshot is a point-in-time copy of a registry. Counters (labeled or
+// not) are schedule-independent and identical across worker counts on
+// the same seed; gauges, stages, and exact-histogram timings may
+// legitimately differ between runs. LabeledCounters and Hists are sorted
+// by name then label values, so the sections are deterministic and
+// golden-testable.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Stages   []StageSnapshot  `json:"stages"`
+	Counters        map[string]int64 `json:"counters"`
+	LabeledCounters []LabeledCounter `json:"labeled_counters,omitempty"`
+	Gauges          map[string]int64 `json:"gauges,omitempty"`
+	Stages          []StageSnapshot  `json:"stages"`
+	Hists           []HistSnapshot   `json:"hists,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Safe on a nil registry
@@ -62,6 +67,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	exacts := make(map[string]*Hist, len(r.exacts))
+	for name, h := range r.exacts {
+		exacts[name] = h
+	}
+	cvecs := make(map[string]*CounterVec, len(r.cvecs))
+	for name, v := range r.cvecs {
+		cvecs[name] = v
+	}
+	hvecs := make(map[string]*HistogramVec, len(r.hvecs))
+	for name, v := range r.hvecs {
+		hvecs[name] = v
+	}
 	r.mu.Unlock()
 
 	for name, c := range counters {
@@ -77,6 +94,43 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		s.Stages = append(s.Stages, hists[name].snapshot(name))
+	}
+
+	names = names[:0]
+	for name := range cvecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := cvecs[name].v
+		for _, c := range v.sortedChildren() {
+			s.LabeledCounters = append(s.LabeledCounters, LabeledCounter{
+				Name: name, Labels: v.labels(c), Value: c.metric.Value(),
+			})
+		}
+	}
+
+	names = names[:0]
+	for name := range exacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Hists = append(s.Hists, exacts[name].Snapshot(name))
+	}
+
+	names = names[:0]
+	for name := range hvecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := hvecs[name].v
+		for _, c := range v.sortedChildren() {
+			hs := c.metric.Snapshot(name)
+			hs.Labels = v.labels(c)
+			s.Hists = append(s.Hists, hs)
+		}
 	}
 	return s
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metric vectors: a CounterVec or HistogramVec is one metric
+// family whose children are addressed by an ordered tuple of label
+// values ({dataset, endpoint, engine, verdict}, ...), so serving metrics
+// can be split per dimension instead of one global aggregate.
+//
+// The read path is lock-free: children live in a copy-on-write map
+// behind an atomic pointer (the same idiom as the serve program
+// registry), so With on an existing label set is a map lookup. Inserts
+// take a mutex and swap a copied map — rare, since label sets are
+// request-shaped, not row-shaped.
+//
+// Cardinality is bounded: once a vector holds vecMaxChildren distinct
+// label sets, further new label sets all collapse into a single overflow
+// child whose every label value is vecOverflowValue. Counts are never
+// dropped — a label-cardinality bug degrades resolution, not totals, and
+// cannot grow the registry without bound.
+
+// vecMaxChildren bounds the distinct label sets per vector.
+const vecMaxChildren = 64
+
+// vecOverflowValue is the label value of the overflow child.
+const vecOverflowValue = "_other"
+
+// vecSep joins label values into a map key; 0x1f (ASCII unit separator)
+// cannot collide with printable label values.
+const vecSep = "\x1f"
+
+// vecChild pairs a child's label values with its metric.
+type vecChild[T any] struct {
+	values []string
+	metric T
+}
+
+// vec is the shared engine behind CounterVec and HistogramVec.
+type vec[T any] struct {
+	name string
+	keys []string
+	newT func() T
+
+	mu       sync.Mutex
+	children atomic.Pointer[map[string]*vecChild[T]]
+}
+
+func newVec[T any](name string, keys []string, newT func() T) *vec[T] {
+	v := &vec[T]{name: name, keys: keys, newT: newT}
+	m := map[string]*vecChild[T]{}
+	v.children.Store(&m)
+	return v
+}
+
+// with returns the child for the given label values, creating it on
+// first use and collapsing into the overflow child once the vector is at
+// its cardinality bound. len(values) must equal len(keys); excess values
+// are truncated and missing ones filled with "" so a miscounted call
+// site degrades rather than panics on the hot path.
+func (v *vec[T]) with(values []string) T {
+	if len(values) != len(v.keys) {
+		fixed := make([]string, len(v.keys))
+		copy(fixed, values)
+		values = fixed
+	}
+	key := strings.Join(values, vecSep)
+	if c, ok := (*v.children.Load())[key]; ok {
+		return c.metric
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := *v.children.Load()
+	if c, ok := cur[key]; ok {
+		return c.metric
+	}
+	if len(cur) >= vecMaxChildren {
+		overflow := make([]string, len(v.keys))
+		for i := range overflow {
+			overflow[i] = vecOverflowValue
+		}
+		key = strings.Join(overflow, vecSep)
+		if c, ok := cur[key]; ok {
+			return c.metric
+		}
+		values = overflow
+	}
+	child := &vecChild[T]{values: append([]string(nil), values...), metric: v.newT()}
+	next := make(map[string]*vecChild[T], len(cur)+1)
+	for k, c := range cur {
+		next[k] = c
+	}
+	next[key] = child
+	v.children.Store(&next)
+	return child.metric
+}
+
+// sortedChildren returns the children ordered by label values — the
+// deterministic order snapshots and renderers use.
+func (v *vec[T]) sortedChildren() []*vecChild[T] {
+	cur := *v.children.Load()
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	// Sorting the joined keys compares label values field by field,
+	// because the separator sorts below all printable characters.
+	sort.Strings(keys)
+	out := make([]*vecChild[T], len(keys))
+	for i, k := range keys {
+		out[i] = cur[k]
+	}
+	return out
+}
+
+// labels zips the vector's keys with a child's values.
+func (v *vec[T]) labels(c *vecChild[T]) []Label {
+	out := make([]Label, len(v.keys))
+	for i, k := range v.keys {
+		out[i] = Label{Key: k, Value: c.values[i]}
+	}
+	return out
+}
+
+// CounterVec is a labeled family of counters. The nil vector hands out
+// nil (no-op) counters.
+type CounterVec struct {
+	v *vec[*Counter]
+}
+
+// With returns the counter for the given label values, in the key order
+// the vector was declared with.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	return cv.v.with(values)
+}
+
+// HistogramVec is a labeled family of exact histograms (Hist). The nil
+// vector hands out nil (no-op) histograms.
+type HistogramVec struct {
+	v      *vec[*Hist]
+	shards int
+}
+
+// With returns the histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Hist {
+	if hv == nil {
+		return nil
+	}
+	return hv.v.with(values)
+}
+
+// LabeledCounter is one child of a CounterVec in a snapshot.
+type LabeledCounter struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels"`
+	Value  int64   `json:"value"`
+}

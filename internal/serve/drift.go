@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"github.com/guardrail-db/guardrail/internal/dataset"
-	"github.com/guardrail-db/guardrail/internal/obs/trace"
 	"github.com/guardrail-db/guardrail/internal/synth"
 )
 
@@ -127,7 +126,7 @@ func (m *driftMonitor) snapshot() []driftStatus {
 // handleDrift reports the drift monitor's per-dataset status: rows
 // observed, windows merged, triggers fired, and the change-event stream
 // with old/new program fingerprints.
-func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request, _ trace.Scope) {
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request, _ *reqInfo) {
 	if s.drift == nil {
 		writeJSON(w, http.StatusOK, driftResponse{Datasets: []driftStatus{}})
 		return

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// flightRecorder keeps the last flightSize requests in a ring, plus two
+// always-retained sub-rings that survive ring churn: recent error
+// responses (status >= 400) and the slowest requests seen. A busy daemon
+// overwrites the main ring in seconds, but the interesting requests — the
+// failures and the tail — stay pinned, so a /debug/flight dump (or the
+// SIGQUIT dump) taken minutes after an incident still shows it.
+type flightRecorder struct {
+	mu     sync.Mutex
+	recent []reqRecord // ring, pos is the next write slot
+	pos    int
+	n      int
+	errs   []reqRecord // ring of error responses
+	epos   int
+	en     int
+	slow   []reqRecord // unordered top-K by LatencyNS
+}
+
+// flightErrsFrac sizes the error sub-ring relative to the main ring.
+const (
+	flightDefaultSize = 256
+	flightErrsMin     = 16
+	flightSlowK       = 16
+)
+
+// newFlightRecorder builds a recorder holding size recent requests;
+// size 0 selects flightDefaultSize, negative disables (returns nil).
+func newFlightRecorder(size int) *flightRecorder {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = flightDefaultSize
+	}
+	esize := size / 4
+	if esize < flightErrsMin {
+		esize = flightErrsMin
+	}
+	return &flightRecorder{
+		recent: make([]reqRecord, size),
+		errs:   make([]reqRecord, esize),
+		slow:   make([]reqRecord, 0, flightSlowK),
+	}
+}
+
+// record adds one finished request. Nil-safe (disabled recorder).
+func (f *flightRecorder) record(rec reqRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recent[f.pos] = rec
+	f.pos = (f.pos + 1) % len(f.recent)
+	if f.n < len(f.recent) {
+		f.n++
+	}
+	if rec.Status >= 400 {
+		f.errs[f.epos] = rec
+		f.epos = (f.epos + 1) % len(f.errs)
+		if f.en < len(f.errs) {
+			f.en++
+		}
+	}
+	if len(f.slow) < cap(f.slow) {
+		f.slow = append(f.slow, rec)
+		return
+	}
+	// Replace the fastest of the retained slow set; K is small enough
+	// that a linear scan beats heap bookkeeping.
+	minAt := 0
+	for i := 1; i < len(f.slow); i++ {
+		if f.slow[i].LatencyNS < f.slow[minAt].LatencyNS {
+			minAt = i
+		}
+	}
+	if rec.LatencyNS > f.slow[minAt].LatencyNS {
+		f.slow[minAt] = rec
+	}
+}
+
+// flightDump is the JSON body of /debug/flight: the retained requests,
+// each section ordered oldest-first (slowest section: descending
+// latency).
+type flightDump struct {
+	Size    int         `json:"size"`
+	Recent  []reqRecord `json:"recent"`
+	Errors  []reqRecord `json:"errors"`
+	Slowest []reqRecord `json:"slowest"`
+}
+
+// ringSlice unrolls a ring into chronological order.
+func ringSlice(ring []reqRecord, pos, n int) []reqRecord {
+	out := make([]reqRecord, 0, n)
+	start := pos - n
+	if start < 0 {
+		start += len(ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, ring[(start+i)%len(ring)])
+	}
+	return out
+}
+
+// dump snapshots the recorder. Nil-safe: a disabled recorder dumps empty
+// sections.
+func (f *flightRecorder) dump() flightDump {
+	d := flightDump{Recent: []reqRecord{}, Errors: []reqRecord{}, Slowest: []reqRecord{}}
+	if f == nil {
+		return d
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.Size = len(f.recent)
+	d.Recent = ringSlice(f.recent, f.pos, f.n)
+	d.Errors = ringSlice(f.errs, f.epos, f.en)
+	d.Slowest = append(d.Slowest, f.slow...)
+	for i := 1; i < len(d.Slowest); i++ { // insertion sort, K ≤ 16
+		for j := i; j > 0 && d.Slowest[j].LatencyNS > d.Slowest[j-1].LatencyNS; j-- {
+			d.Slowest[j], d.Slowest[j-1] = d.Slowest[j-1], d.Slowest[j]
+		}
+	}
+	return d
+}
+
+// writeTo writes an indented JSON dump (the SIGQUIT path).
+func (f *flightRecorder) writeTo(w io.Writer) {
+	data, err := json.MarshalIndent(f.dump(), "", "  ")
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	_, _ = w.Write(data)
+}
+
+// handleFlight serves the flight dump. Ungated, like /metrics: the
+// recorder is exactly the thing to read while the gate is saturated.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.dump())
+}
+
+// FlightHandler exposes the flight dump endpoint for mounting on an
+// external mux (the -debug-addr server).
+func (s *Server) FlightHandler() http.Handler {
+	return http.HandlerFunc(s.handleFlight)
+}

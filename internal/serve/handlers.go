@@ -12,7 +12,6 @@ import (
 
 	"github.com/guardrail-db/guardrail/internal/dsl"
 	"github.com/guardrail-db/guardrail/internal/obs/debug"
-	"github.com/guardrail-db/guardrail/internal/obs/trace"
 )
 
 // fingerprintHeader echoes the program version a response was computed
@@ -116,14 +115,18 @@ func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request) (*Entry, b
 // entry is resolved once and used for the whole request, so every row of
 // a batch is validated by the same program version even if a hot reload
 // lands mid-stream.
-func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request, sc trace.Scope, rectify bool) {
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request, rc *reqInfo, rectify bool) {
+	// Record the requested dataset before resolution, so a 404's log
+	// entry still says what the client asked for.
+	rc.dataset = r.URL.Query().Get("dataset")
 	e, ok := s.resolveEntry(w, r)
 	if !ok {
 		return
 	}
+	rc.dataset, rc.fingerprint, rc.engine = e.Name, e.FingerprintHex(), e.EngineName()
 	w.Header().Set(fingerprintHeader, e.FingerprintHex())
 	w.Header().Set(engineHeader, e.EngineName())
-	sc.EventStr("serve.program", "fingerprint", e.FingerprintHex())
+	rc.Scope.EventStr("serve.program", "fingerprint", e.FingerprintHex())
 
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil {
@@ -131,17 +134,17 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request, sc trace
 	}
 	switch ct {
 	case "application/x-ndjson", "application/ndjson", "application/jsonlines":
-		s.streamNDJSON(w, r, e, rectify)
+		s.streamNDJSON(w, r, e, rc, rectify)
 	case "text/csv":
-		s.streamCSV(w, r, e, rectify)
+		s.streamCSV(w, r, e, rc, rectify)
 	default:
-		s.singleJSON(w, r, e, rectify)
+		s.singleJSON(w, r, e, rc, rectify)
 	}
 }
 
 // singleJSON validates one row sent as a JSON object keyed by attribute
 // name. The body is size-limited by Config.MaxBody.
-func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
+func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, rc *reqInfo, rectify bool) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
 	var row map[string]string
 	if err := json.NewDecoder(body).Decode(&row); err != nil {
@@ -169,10 +172,7 @@ func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, re
 		Flagged:     len(vs) > 0,
 		Violations:  s.decodeViolations(e, vs, buf.raw),
 	}
-	s.metrics.rows.Inc()
-	if resp.Flagged {
-		s.metrics.flagged.Inc()
-	}
+	s.countRow(rc, resp.Flagged)
 	if rectify {
 		resp.Changed = e.RectifyRow(buf.codes)
 		s.metrics.cellsChanged.Add(int64(resp.Changed))
@@ -181,19 +181,42 @@ func (s *Server) singleJSON(w http.ResponseWriter, r *http.Request, e *Entry, re
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// countRow updates the per-request row tallies alongside the aggregate
+// and dataset-labeled row counters. The labeled children are resolved
+// once per request (a vec lookup allocates its joined key), keeping the
+// per-row cost at plain atomic increments.
+func (s *Server) countRow(rc *reqInfo, flagged bool) {
+	if !rc.rowCounters {
+		rc.rowCounters = true
+		rc.rowsOKCounter = s.metrics.dsRows.With(rc.dataset, rc.endpoint, rc.engine, "ok")
+		rc.rowsFlaggedCounter = s.metrics.dsRows.With(rc.dataset, rc.endpoint, rc.engine, "flagged")
+	}
+	rc.rowsIn++
+	s.metrics.rows.Inc()
+	if flagged {
+		rc.rowsFlagged++
+		s.metrics.flagged.Inc()
+		rc.rowsFlaggedCounter.Inc()
+	} else {
+		rc.rowsOKCounter.Inc()
+	}
+}
+
 // streamNDJSON validates a newline-delimited stream of JSON row objects,
 // writing one verdict line per row and a final {"summary": ...} line.
 // Rows are processed in constant memory as they arrive; the body is not
 // size-limited.
-func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
+func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, rc *reqInfo, rectify bool) {
 	// HTTP/1.x is half-duplex by default: after the first response write
 	// the server closes the request body, which would kill a batch whose
 	// rows aren't fully buffered before the first verdict flushes.
-	_ = http.NewResponseController(w).EnableFullDuplex()
+	// NewResponseController (rather than a Flusher type assertion)
+	// reaches the real writer through the telemetry wrapper's Unwrap.
+	ctrl := http.NewResponseController(w)
+	_ = ctrl.EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	dec := json.NewDecoder(r.Body)
 	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
 	buf := newRowBuf(e.Schema.NumAttrs())
 	var vbuf []dsl.Violation
 	var sum batchSummary
@@ -211,7 +234,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, 
 			_ = enc.Encode(verdict{Row: i, Violations: []apiViolation{}, Error: err.Error()})
 			break
 		}
-		v := s.checkOne(e, buf, &vbuf, rectify, i)
+		v := s.checkOne(e, buf, &vbuf, rc, rectify, i)
 		if rectify {
 			v.Values = buf.decodeMap(e.Schema)
 		}
@@ -222,9 +245,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, 
 		sum.Violations += len(v.Violations)
 		sum.Changed += v.Changed
 		_ = enc.Encode(v)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		_ = ctrl.Flush()
 	}
 	_ = enc.Encode(struct {
 		Summary batchSummary `json:"summary"`
@@ -235,8 +256,9 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, e *Entry, 
 // order covering the schema). Check responses are NDJSON verdict lines
 // like streamNDJSON; rectify responses are the repaired CSV — the
 // streaming twin of `guardrail rectify -out`.
-func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rectify bool) {
-	_ = http.NewResponseController(w).EnableFullDuplex() // see streamNDJSON
+func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rc *reqInfo, rectify bool) {
+	ctrl := http.NewResponseController(w)
+	_ = ctrl.EnableFullDuplex() // see streamNDJSON
 	cr := csv.NewReader(r.Body)
 	cr.FieldsPerRecord = -1
 	cr.ReuseRecord = true
@@ -266,7 +288,6 @@ func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rec
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc = json.NewEncoder(w)
 	}
-	flusher, _ := w.(http.Flusher)
 
 	buf := newRowBuf(e.Schema.NumAttrs())
 	out := make([]string, len(header))
@@ -289,7 +310,7 @@ func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rec
 			break
 		}
 		buf.setFromRecord(e.Schema, colOf, rec)
-		v := s.checkOne(e, buf, &vbuf, rectify, i)
+		v := s.checkOne(e, buf, &vbuf, rc, rectify, i)
 		sum.Rows++
 		if v.Flagged {
 			sum.Flagged++
@@ -306,9 +327,7 @@ func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rec
 			}
 		} else {
 			_ = enc.Encode(v)
-			if flusher != nil {
-				flusher.Flush()
-			}
+			_ = ctrl.Flush()
 		}
 	}
 	if rectify {
@@ -321,15 +340,12 @@ func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, e *Entry, rec
 }
 
 // checkOne detects (and under rectify repairs) the row in buf, updating
-// the serve.* row counters.
-func (s *Server) checkOne(e *Entry, buf *rowBuf, vbuf *[]dsl.Violation, rectify bool, i int) verdict {
+// the serve.* row counters and the request's row tallies.
+func (s *Server) checkOne(e *Entry, buf *rowBuf, vbuf *[]dsl.Violation, rc *reqInfo, rectify bool, i int) verdict {
 	s.observeDrift(e, buf.raw)
 	*vbuf = e.Detect(buf.codes, *vbuf)
 	v := verdict{Row: i, Flagged: len(*vbuf) > 0, Violations: s.decodeViolations(e, *vbuf, buf.raw)}
-	s.metrics.rows.Inc()
-	if v.Flagged {
-		s.metrics.flagged.Inc()
-	}
+	s.countRow(rc, v.Flagged)
 	if rectify {
 		v.Changed = e.RectifyRow(buf.codes)
 		s.metrics.cellsChanged.Add(int64(v.Changed))
@@ -380,7 +396,7 @@ func infoOf(e *Entry) programInfo {
 	}
 }
 
-func (s *Server) handleProgramList(w http.ResponseWriter, _ *http.Request, _ trace.Scope) {
+func (s *Server) handleProgramList(w http.ResponseWriter, _ *http.Request, _ *reqInfo) {
 	entries := s.registry.Entries()
 	infos := make([]programInfo, 0, len(entries))
 	for _, e := range entries {
@@ -391,7 +407,7 @@ func (s *Server) handleProgramList(w http.ResponseWriter, _ *http.Request, _ tra
 	}{infos})
 }
 
-func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request, _ trace.Scope) {
+func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request, _ *reqInfo) {
 	e, ok := s.registry.Get(r.PathValue("name"))
 	if !ok {
 		s.metrics.errors.Inc()
@@ -408,8 +424,9 @@ func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request, _ trac
 // handleProgramPut hot-reloads a program: the body carries the schema CSV
 // and the program source, and the registry swap is atomic — requests
 // admitted before the swap finish on the version they resolved.
-func (s *Server) handleProgramPut(w http.ResponseWriter, r *http.Request, sc trace.Scope) {
+func (s *Server) handleProgramPut(w http.ResponseWriter, r *http.Request, rc *reqInfo) {
 	name := r.PathValue("name")
+	rc.dataset = name
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
 	var req struct {
 		SchemaCSV string `json:"schema_csv"`
@@ -436,7 +453,8 @@ func (s *Server) handleProgramPut(w http.ResponseWriter, r *http.Request, sc tra
 		writeJSONError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	sc.EventStr("serve.reload", "fingerprint", e.FingerprintHex())
+	rc.fingerprint, rc.engine = e.FingerprintHex(), e.EngineName()
+	rc.Scope.EventStr("serve.reload", "fingerprint", e.FingerprintHex())
 	w.Header().Set(fingerprintHeader, e.FingerprintHex())
 	writeJSON(w, http.StatusOK, struct {
 		programInfo
@@ -444,8 +462,9 @@ func (s *Server) handleProgramPut(w http.ResponseWriter, r *http.Request, sc tra
 	}{infoOf(e), changed})
 }
 
-func (s *Server) handleProgramDelete(w http.ResponseWriter, r *http.Request, _ trace.Scope) {
+func (s *Server) handleProgramDelete(w http.ResponseWriter, r *http.Request, rc *reqInfo) {
 	name := r.PathValue("name")
+	rc.dataset = name
 	if !s.registry.Remove(name) {
 		s.metrics.errors.Inc()
 		writeJSONError(w, http.StatusNotFound, "no program registered for dataset %q", name)

@@ -580,7 +580,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"guardrail_serve_flagged 1",
 		"guardrail_serve_violations 1",
 		"guardrail_serve_reloads 1",
-		`guardrail_serve_request_check_seconds{quantile="0.5"}`,
+		"guardrail_serve_request_check_seconds_bucket{le=",
+		"guardrail_serve_request_check_seconds_count 1",
+		`guardrail_serve_endpoint_requests{endpoint="check",status="200"} 1`,
+		`guardrail_serve_dataset_rows{dataset="postal",endpoint="check",engine="compiled",verdict="flagged"} 1`,
+		`guardrail_serve_request_latency_seconds_bucket{dataset="postal",endpoint="check",engine="compiled",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(string(body), series) {
 			t.Errorf("/metrics missing %q:\n%s", series, body)
